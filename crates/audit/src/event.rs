@@ -1,0 +1,362 @@
+//! Auditable events and the records that wrap them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use legaliot_ifc::{FlowDecision, SecurityContext};
+
+/// Identifier of a record within an [`crate::AuditLog`]: its position in the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RecordId(pub u64);
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The kind of an audit event, used for filtering and compliance checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditEventKind {
+    /// A data flow was checked (and allowed or denied).
+    FlowChecked,
+    /// An entity changed its own security context (declassification/endorsement).
+    LabelChanged,
+    /// A privilege was granted or revoked.
+    PrivilegeChanged,
+    /// A component was reconfigured by a third party (Fig. 8).
+    Reconfigured,
+    /// A policy rule fired.
+    PolicyFired,
+    /// A channel between components was established or torn down.
+    ChannelChanged,
+    /// A data item was created or derived from others.
+    DataDerived,
+    /// A break-glass override was activated or expired.
+    BreakGlass,
+}
+
+impl fmt::Display for AuditEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AuditEventKind::FlowChecked => "flow-checked",
+            AuditEventKind::LabelChanged => "label-changed",
+            AuditEventKind::PrivilegeChanged => "privilege-changed",
+            AuditEventKind::Reconfigured => "reconfigured",
+            AuditEventKind::PolicyFired => "policy-fired",
+            AuditEventKind::ChannelChanged => "channel-changed",
+            AuditEventKind::DataDerived => "data-derived",
+            AuditEventKind::BreakGlass => "break-glass",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An auditable occurrence somewhere in the deployment.
+///
+/// Entity references are plain strings (component/process/data names scoped by the
+/// caller) so the audit crate stays decoupled from the middleware and kernel models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AuditEvent {
+    /// A flow from `source` to `destination` was checked.
+    FlowChecked {
+        /// Name of the source entity.
+        source: String,
+        /// Name of the destination entity.
+        destination: String,
+        /// Source security context at check time.
+        source_context: SecurityContext,
+        /// Destination security context at check time.
+        destination_context: SecurityContext,
+        /// The decision reached.
+        decision: FlowDecision,
+        /// Optional name of the data item transferred (present when allowed).
+        data_item: Option<String>,
+    },
+    /// An entity changed its own labels, naming the approved transformation applied.
+    LabelChanged {
+        /// The entity that changed context.
+        entity: String,
+        /// Context before the change.
+        before: SecurityContext,
+        /// Context after the change.
+        after: SecurityContext,
+        /// Name of the approved algorithm (e.g. `k-anonymise`), if any.
+        algorithm: Option<String>,
+    },
+    /// A privilege over `tag` was granted to or revoked from `entity` by `authority`.
+    PrivilegeChanged {
+        /// The entity whose privileges changed.
+        entity: String,
+        /// The tag concerned.
+        tag: String,
+        /// Human-readable description of the change (e.g. `grant secrecy-remove`).
+        change: String,
+        /// The principal that authorised the change.
+        authority: String,
+    },
+    /// A component was reconfigured by a third party via a control message.
+    Reconfigured {
+        /// The component that was reconfigured.
+        component: String,
+        /// The principal that issued the reconfiguration.
+        issued_by: String,
+        /// Description of the reconfiguration action.
+        action: String,
+        /// Whether the control message was accepted.
+        accepted: bool,
+    },
+    /// A policy rule fired, possibly producing reconfiguration commands.
+    PolicyFired {
+        /// The policy rule's identifier.
+        policy: String,
+        /// The event or context change that triggered it.
+        trigger: String,
+        /// Number of resulting actions.
+        actions: usize,
+    },
+    /// A messaging channel was established or torn down.
+    ChannelChanged {
+        /// Source component.
+        from: String,
+        /// Destination component.
+        to: String,
+        /// Whether the channel now exists.
+        established: bool,
+        /// Why (AC denied, IFC denied, policy, …).
+        reason: String,
+    },
+    /// A data item was derived from zero or more input items by a process.
+    DataDerived {
+        /// The new data item's name.
+        output: String,
+        /// The names of input data items.
+        inputs: Vec<String>,
+        /// The process that produced it.
+        process: String,
+        /// The agent controlling the process.
+        agent: String,
+        /// Security context of the output item.
+        context: SecurityContext,
+    },
+    /// A break-glass override was activated or deactivated.
+    BreakGlass {
+        /// The override's policy id.
+        policy: String,
+        /// Whether it became active (`true`) or expired/was revoked (`false`).
+        active: bool,
+        /// The justification recorded at activation.
+        justification: String,
+    },
+}
+
+impl AuditEvent {
+    /// The kind of this event.
+    pub fn kind(&self) -> AuditEventKind {
+        match self {
+            AuditEvent::FlowChecked { .. } => AuditEventKind::FlowChecked,
+            AuditEvent::LabelChanged { .. } => AuditEventKind::LabelChanged,
+            AuditEvent::PrivilegeChanged { .. } => AuditEventKind::PrivilegeChanged,
+            AuditEvent::Reconfigured { .. } => AuditEventKind::Reconfigured,
+            AuditEvent::PolicyFired { .. } => AuditEventKind::PolicyFired,
+            AuditEvent::ChannelChanged { .. } => AuditEventKind::ChannelChanged,
+            AuditEvent::DataDerived { .. } => AuditEventKind::DataDerived,
+            AuditEvent::BreakGlass { .. } => AuditEventKind::BreakGlass,
+        }
+    }
+
+    /// Whether the event records a *denied* flow.
+    pub fn is_denied_flow(&self) -> bool {
+        matches!(
+            self,
+            AuditEvent::FlowChecked { decision, .. } if decision.is_denied()
+        )
+    }
+
+    /// The names of entities mentioned by the event (used to answer "all records
+    /// relating to X" audit queries).
+    pub fn entities(&self) -> Vec<&str> {
+        match self {
+            AuditEvent::FlowChecked { source, destination, data_item, .. } => {
+                let mut v = vec![source.as_str(), destination.as_str()];
+                if let Some(d) = data_item {
+                    v.push(d.as_str());
+                }
+                v
+            }
+            AuditEvent::LabelChanged { entity, .. } => vec![entity.as_str()],
+            AuditEvent::PrivilegeChanged { entity, authority, .. } => {
+                vec![entity.as_str(), authority.as_str()]
+            }
+            AuditEvent::Reconfigured { component, issued_by, .. } => {
+                vec![component.as_str(), issued_by.as_str()]
+            }
+            AuditEvent::PolicyFired { policy, .. } => vec![policy.as_str()],
+            AuditEvent::ChannelChanged { from, to, .. } => vec![from.as_str(), to.as_str()],
+            AuditEvent::DataDerived { output, inputs, process, agent, .. } => {
+                let mut v = vec![output.as_str(), process.as_str(), agent.as_str()];
+                v.extend(inputs.iter().map(String::as_str));
+                v
+            }
+            AuditEvent::BreakGlass { policy, .. } => vec![policy.as_str()],
+        }
+    }
+}
+
+impl fmt::Display for AuditEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditEvent::FlowChecked { source, destination, decision, .. } => {
+                write!(f, "flow {source} -> {destination}: {decision}")
+            }
+            AuditEvent::LabelChanged { entity, algorithm, .. } => match algorithm {
+                Some(a) => write!(f, "{entity} changed context via {a}"),
+                None => write!(f, "{entity} changed context"),
+            },
+            AuditEvent::PrivilegeChanged { entity, tag, change, authority } => {
+                write!(f, "{authority}: {change} on {tag} for {entity}")
+            }
+            AuditEvent::Reconfigured { component, issued_by, action, accepted } => write!(
+                f,
+                "{issued_by} reconfigured {component}: {action} ({})",
+                if *accepted { "accepted" } else { "rejected" }
+            ),
+            AuditEvent::PolicyFired { policy, trigger, actions } => {
+                write!(f, "policy {policy} fired on {trigger} ({actions} actions)")
+            }
+            AuditEvent::ChannelChanged { from, to, established, reason } => write!(
+                f,
+                "channel {from} -> {to} {} ({reason})",
+                if *established { "established" } else { "closed" }
+            ),
+            AuditEvent::DataDerived { output, process, .. } => {
+                write!(f, "{process} derived {output}")
+            }
+            AuditEvent::BreakGlass { policy, active, .. } => write!(
+                f,
+                "break-glass {policy} {}",
+                if *active { "activated" } else { "deactivated" }
+            ),
+        }
+    }
+}
+
+/// A log record: an event plus its position, timestamp and hash-chain linkage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Position of this record in the log (0-based).
+    pub id: RecordId,
+    /// Simulated time (milliseconds) at which the event was recorded.
+    pub at_millis: u64,
+    /// The node or domain that recorded the event (for federated/distributed audit).
+    pub recorded_by: String,
+    /// The event itself.
+    pub event: AuditEvent,
+    /// Hash of the previous record (0 for the first record).
+    pub previous_hash: u64,
+    /// Hash of this record's contents chained with `previous_hash`.
+    pub hash: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legaliot_ifc::{can_flow, SecurityContext};
+
+    fn sample_flow_event(denied: bool) -> AuditEvent {
+        let src = SecurityContext::from_names(["medical"], Vec::<&str>::new());
+        let dst = if denied {
+            SecurityContext::public()
+        } else {
+            src.clone()
+        };
+        AuditEvent::FlowChecked {
+            source: "sensor".into(),
+            destination: "analyser".into(),
+            source_context: src.clone(),
+            destination_context: dst.clone(),
+            decision: can_flow(&src, &dst),
+            data_item: Some("reading-1".into()),
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(sample_flow_event(false).kind(), AuditEventKind::FlowChecked);
+        let label_change = AuditEvent::LabelChanged {
+            entity: "sanitiser".into(),
+            before: SecurityContext::public(),
+            after: SecurityContext::public(),
+            algorithm: Some("convert".into()),
+        };
+        assert_eq!(label_change.kind(), AuditEventKind::LabelChanged);
+        assert_eq!(
+            AuditEvent::BreakGlass {
+                policy: "p".into(),
+                active: true,
+                justification: "emergency".into()
+            }
+            .kind(),
+            AuditEventKind::BreakGlass
+        );
+    }
+
+    #[test]
+    fn denied_flow_detection() {
+        assert!(!sample_flow_event(false).is_denied_flow());
+        assert!(sample_flow_event(true).is_denied_flow());
+        assert!(!AuditEvent::PolicyFired {
+            policy: "p".into(),
+            trigger: "t".into(),
+            actions: 0
+        }
+        .is_denied_flow());
+    }
+
+    #[test]
+    fn entities_extraction() {
+        let e = sample_flow_event(false);
+        let names = e.entities();
+        assert!(names.contains(&"sensor"));
+        assert!(names.contains(&"analyser"));
+        assert!(names.contains(&"reading-1"));
+
+        let derived = AuditEvent::DataDerived {
+            output: "stats".into(),
+            inputs: vec!["ann-reading".into(), "zeb-reading".into()],
+            process: "stats-gen".into(),
+            agent: "hospital".into(),
+            context: SecurityContext::public(),
+        };
+        let names = derived.entities();
+        assert_eq!(names.len(), 5);
+        assert!(names.contains(&"ann-reading"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = sample_flow_event(true);
+        let s = e.to_string();
+        assert!(s.contains("sensor"));
+        assert!(s.contains("denied"));
+        let kinds = [
+            AuditEventKind::FlowChecked,
+            AuditEventKind::LabelChanged,
+            AuditEventKind::PrivilegeChanged,
+            AuditEventKind::Reconfigured,
+            AuditEventKind::PolicyFired,
+            AuditEventKind::ChannelChanged,
+            AuditEventKind::DataDerived,
+            AuditEventKind::BreakGlass,
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn record_id_display() {
+        assert_eq!(RecordId(7).to_string(), "#7");
+    }
+}

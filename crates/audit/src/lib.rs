@@ -1,0 +1,32 @@
+//! # legaliot-audit
+//!
+//! Audit, provenance and traceability for IFC-enforced IoT systems (§8.3 and
+//! Challenge 6 of Singh et al., Middleware 2016).
+//!
+//! "IFC checks are carried out on every attempted flow. This facilitates the creation of
+//! logs recording all attempted and permitted flows. Such information provides the means
+//! to demonstrate that user policies have been enforced and regulations have been
+//! complied with."
+//!
+//! The crate provides:
+//!
+//! * [`AuditEvent`] — the vocabulary of auditable occurrences (flow checks, label
+//!   changes, declassifications, reconfigurations, policy decisions);
+//! * [`AuditLog`] — an append-only, hash-chained log with tamper-evidence, pruning and
+//!   offload support (Challenge 6: "When can logs safely be pruned? Can logs be
+//!   offloaded to others for distributed audit?");
+//! * [`ProvenanceGraph`] — the audit graph of Fig. 11 (data items, processes, agents)
+//!   built from the log, with ancestry/taint queries and DOT export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod log;
+pub mod provenance;
+
+pub use event::{AuditEvent, AuditEventKind, AuditRecord, RecordId};
+pub use log::{AuditLog, ChainVerification, PruneOutcome};
+pub use provenance::{
+    NodeId, NodeKind, ProvenanceEdge, ProvenanceGraph, ProvenanceNode, Relation,
+};

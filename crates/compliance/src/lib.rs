@@ -1,0 +1,29 @@
+//! # legaliot-compliance
+//!
+//! The legal-compliance layer of Fig. 1: machine-readable obligations derived from law
+//! and regulation, their compilation into tags and policy rules, and compliance checking
+//! against the audit evidence the enforcement layers produce.
+//!
+//! "Law and regulation, reflecting responsibilities and obligations, together with
+//! personal preferences, must be embodied in policy, which technical mechanisms must
+//! enforce system-wide. … the audit of its enforcement, particularly regarding data flow
+//! and processing, is necessary to demonstrate compliance." (§1)
+//!
+//! * [`Obligation`] — representative obligations (consent, geo-residency, purpose
+//!   limitation / anonymise-before-analytics, retention, breach notification);
+//! * [`RegulationSet`] — a named body of obligations (e.g. an EU-style data-protection
+//!   regime) that can be compiled into [`legaliot_policy::PolicyRule`]s and required
+//!   tags;
+//! * [`ComplianceChecker`] — checks a merged audit timeline plus provenance graph
+//!   against the obligations, producing [`Violation`]s and a [`ComplianceReport`];
+//! * [`LiabilityReport`] — apportions responsibility for a violation to the agents that
+//!   controlled the processes involved (Fig. 11 / §8.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod regulation;
+
+pub use checker::{ComplianceChecker, ComplianceReport, LiabilityReport, Violation};
+pub use regulation::{Obligation, RegulationSet};

@@ -1,0 +1,31 @@
+//! # legaliot-context
+//!
+//! Context representation and management for policy-driven IoT middleware.
+//!
+//! "Policy is inherently contextual, defined to be enforced in particular
+//! circumstances. Therefore, a richer representation of state allows for more granular
+//! and expressive policy" (§10.2 of Singh et al., Middleware 2016). This crate provides:
+//!
+//! * a typed attribute/value model ([`ContextValue`], [`ContextKey`]);
+//! * a versioned [`ContextStore`] with change subscriptions, so policy engines can react
+//!   to context changes (the trigger for reconfiguration in Fig. 7);
+//! * domain models for [`location`] (geographic regions, geo-fencing — used by
+//!   residency obligations) and [`time`] (a logical clock and time windows, e.g.
+//!   "only during the nurse's shift");
+//! * [`provider`]s that feed context from simulated sources (sensors, calendars,
+//!   presence detection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod location;
+pub mod provider;
+pub mod store;
+pub mod time;
+pub mod value;
+
+pub use location::{GeoPoint, Region};
+pub use provider::{ContextProvider, PresenceProvider, ShiftProvider, StaticProvider};
+pub use store::{ContextChange, ContextSnapshot, ContextStore, SubscriptionId};
+pub use time::{LogicalClock, TimeWindow, Timestamp};
+pub use value::{ContextKey, ContextValue};

@@ -1,0 +1,230 @@
+//! Context providers: simulated sources that feed the context store.
+//!
+//! In the paper's architecture, context is gathered from the environment (presence
+//! detection, shift rosters, device state) and consumed by policy. Providers bridge the
+//! two: each provider, when ticked with the current simulated time, contributes a set of
+//! key/value pairs to a [`ContextStore`].
+
+use crate::location::{GeoPoint, Region};
+use crate::store::ContextStore;
+use crate::time::{TimeWindow, Timestamp};
+use crate::value::{ContextKey, ContextValue};
+
+/// A source of context values, polled by the deployment on each tick of simulated time.
+pub trait ContextProvider: Send {
+    /// A short, stable name for the provider (used in audit records).
+    fn name(&self) -> &str;
+
+    /// Produces the key/value pairs that should be written into the store at time `now`.
+    fn provide(&mut self, now: Timestamp) -> Vec<(ContextKey, ContextValue)>;
+
+    /// Writes this provider's values into `store` at time `now`.
+    fn publish_to(&mut self, store: &ContextStore, now: Timestamp) {
+        for (k, v) in self.provide(now) {
+            store.set(k, v, now);
+        }
+    }
+}
+
+/// A provider that always reports the same fixed values (e.g. static device metadata).
+#[derive(Debug, Clone)]
+pub struct StaticProvider {
+    name: String,
+    values: Vec<(ContextKey, ContextValue)>,
+}
+
+impl StaticProvider {
+    /// Creates a static provider with a name and fixed key/value pairs.
+    pub fn new<I, K, V>(name: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<ContextKey>,
+        V: Into<ContextValue>,
+    {
+        StaticProvider {
+            name: name.into(),
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+impl ContextProvider for StaticProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn provide(&mut self, _now: Timestamp) -> Vec<(ContextKey, ContextValue)> {
+        self.values.clone()
+    }
+}
+
+/// Reports whether a subject (identified by key prefix) is inside a named region,
+/// based on a position that scenario code can move around.
+///
+/// Produces `"<subject>.in-<region>"` = bool and `"<subject>.location"` = the position.
+#[derive(Debug, Clone)]
+pub struct PresenceProvider {
+    name: String,
+    subject: String,
+    region: Region,
+    position: GeoPoint,
+}
+
+impl PresenceProvider {
+    /// Creates a presence provider for `subject` relative to `region`, starting at
+    /// `position`.
+    pub fn new(subject: impl Into<String>, region: Region, position: GeoPoint) -> Self {
+        let subject = subject.into();
+        PresenceProvider {
+            name: format!("presence:{subject}"),
+            subject,
+            region,
+            position,
+        }
+    }
+
+    /// Moves the subject to a new position (e.g. the nurse arrives at the patient's home).
+    pub fn move_to(&mut self, position: GeoPoint) {
+        self.position = position;
+    }
+
+    /// The key under which presence is reported.
+    pub fn presence_key(&self) -> ContextKey {
+        ContextKey::new(format!("{}.in-{}", self.subject, self.region.name()))
+    }
+}
+
+impl ContextProvider for PresenceProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn provide(&mut self, _now: Timestamp) -> Vec<(ContextKey, ContextValue)> {
+        vec![
+            (
+                self.presence_key(),
+                ContextValue::Bool(self.region.contains(&self.position)),
+            ),
+            (
+                ContextKey::new(format!("{}.location", self.subject)),
+                ContextValue::Location {
+                    latitude: self.position.latitude,
+                    longitude: self.position.longitude,
+                },
+            ),
+        ]
+    }
+}
+
+/// Reports whether a worker is currently on shift, from a set of rostered time windows.
+///
+/// Produces `"<subject>.on-shift"` = bool.
+#[derive(Debug, Clone)]
+pub struct ShiftProvider {
+    name: String,
+    subject: String,
+    shifts: Vec<TimeWindow>,
+}
+
+impl ShiftProvider {
+    /// Creates a shift provider for `subject` with the rostered windows.
+    pub fn new(subject: impl Into<String>, shifts: Vec<TimeWindow>) -> Self {
+        let subject = subject.into();
+        ShiftProvider {
+            name: format!("shift:{subject}"),
+            subject,
+            shifts,
+        }
+    }
+
+    /// The key under which shift status is reported.
+    pub fn shift_key(&self) -> ContextKey {
+        ContextKey::new(format!("{}.on-shift", self.subject))
+    }
+}
+
+impl ContextProvider for ShiftProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn provide(&mut self, now: Timestamp) -> Vec<(ContextKey, ContextValue)> {
+        let on_shift = self.shifts.iter().any(|w| w.contains(now));
+        vec![(self.shift_key(), ContextValue::Bool(on_shift))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_provider_reports_fixed_values() {
+        let mut p = StaticProvider::new("device-meta", [("device.model", "hx-100")]);
+        assert_eq!(p.name(), "device-meta");
+        let values = p.provide(Timestamp(5));
+        assert_eq!(values.len(), 1);
+        assert_eq!(values[0].1, ContextValue::Text("hx-100".into()));
+        // Ticking again yields the same values.
+        assert_eq!(p.provide(Timestamp(6)), values);
+    }
+
+    #[test]
+    fn presence_provider_tracks_region_membership() {
+        let home = Region::around("ann-home", GeoPoint::new(52.2, 0.12), 0.01);
+        let mut p = PresenceProvider::new("nurse", home, GeoPoint::new(0.0, 0.0));
+        let values = p.provide(Timestamp(0));
+        let in_home = values
+            .iter()
+            .find(|(k, _)| k == &p.presence_key())
+            .unwrap();
+        assert_eq!(in_home.1, ContextValue::Bool(false));
+
+        p.move_to(GeoPoint::new(52.2, 0.12));
+        let values = p.provide(Timestamp(1));
+        let in_home = values
+            .iter()
+            .find(|(k, _)| k == &p.presence_key())
+            .unwrap();
+        assert_eq!(in_home.1, ContextValue::Bool(true));
+        // Location is also reported.
+        assert!(values
+            .iter()
+            .any(|(k, v)| k.name() == "nurse.location" && v.as_location().is_some()));
+    }
+
+    #[test]
+    fn shift_provider_uses_time_windows() {
+        let mut p = ShiftProvider::new(
+            "nurse",
+            vec![TimeWindow::new(Timestamp(100), Timestamp(200))],
+        );
+        assert_eq!(p.provide(Timestamp(50))[0].1, ContextValue::Bool(false));
+        assert_eq!(p.provide(Timestamp(150))[0].1, ContextValue::Bool(true));
+        assert_eq!(p.provide(Timestamp(250))[0].1, ContextValue::Bool(false));
+        assert_eq!(p.shift_key().name(), "nurse.on-shift");
+    }
+
+    #[test]
+    fn publish_to_writes_into_store() {
+        let store = ContextStore::new();
+        let mut p = StaticProvider::new("meta", [("a", 1i64), ("b", 2i64)]);
+        p.publish_to(&store, Timestamp(7));
+        assert_eq!(store.version(), 2);
+        let snap = store.snapshot();
+        assert_eq!(snap.get_name("a"), Some(&ContextValue::Integer(1)));
+        assert_eq!(snap.taken_at(), Timestamp(7));
+    }
+
+    #[test]
+    fn providers_are_object_safe() {
+        let providers: Vec<Box<dyn ContextProvider>> = vec![
+            Box::new(StaticProvider::new("s", [("k", 1i64)])),
+            Box::new(ShiftProvider::new("n", vec![])),
+        ];
+        assert_eq!(providers.len(), 2);
+    }
+}

@@ -1,0 +1,360 @@
+//! The versioned context store with change subscriptions.
+//!
+//! Policy engines "monitor environments and use the MW's remote-reconfiguration
+//! functionality to issue instructions to components, when/where necessary" (§8.1).
+//! The store is the piece they monitor: every update produces a [`ContextChange`] with a
+//! monotonically increasing version, and subscribers can drain the changes since the
+//! last version they processed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+use crate::value::{ContextKey, ContextValue};
+
+/// Identifier handed out when subscribing to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubscriptionId(u64);
+
+/// A single recorded change to the context store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextChange {
+    /// Store version after this change was applied (starts at 1).
+    pub version: u64,
+    /// Simulated time at which the change was recorded.
+    pub at: Timestamp,
+    /// The key that changed.
+    pub key: ContextKey,
+    /// The previous value, if any.
+    pub previous: Option<ContextValue>,
+    /// The new value, or `None` if the key was removed.
+    pub current: Option<ContextValue>,
+}
+
+impl fmt::Display for ContextChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.current {
+            Some(v) => write!(f, "v{}: {} = {}", self.version, self.key, v),
+            None => write!(f, "v{}: {} removed", self.version, self.key),
+        }
+    }
+}
+
+/// An immutable snapshot of the store at a particular version, handed to policy
+/// condition evaluation so a whole rule set sees a consistent view.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnapshot {
+    version: u64,
+    at: Timestamp,
+    values: BTreeMap<ContextKey, ContextValue>,
+}
+
+impl ContextSnapshot {
+    /// The store version this snapshot reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The simulated time of the last change included.
+    pub fn taken_at(&self) -> Timestamp {
+        self.at
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &ContextKey) -> Option<&ContextValue> {
+        self.values.get(key)
+    }
+
+    /// Looks up a value by key name.
+    pub fn get_name(&self, name: &str) -> Option<&ContextValue> {
+        self.values.get(&ContextKey::new(name))
+    }
+
+    /// Whether a boolean key is present and true.
+    pub fn is_true(&self, name: &str) -> bool {
+        self.get_name(name).and_then(ContextValue::as_bool) == Some(true)
+    }
+
+    /// Number of keys in the snapshot.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over the `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ContextKey, &ContextValue)> + '_ {
+        self.values.iter()
+    }
+
+    /// Builds a snapshot directly from key/value pairs (for tests and ad-hoc evaluation).
+    pub fn from_pairs<I, K, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<ContextKey>,
+        V: Into<ContextValue>,
+    {
+        ContextSnapshot {
+            version: 0,
+            at: Timestamp::ZERO,
+            values: pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    values: BTreeMap<ContextKey, ContextValue>,
+    changes: Vec<ContextChange>,
+    version: u64,
+    next_subscription: u64,
+    /// Last version delivered to each subscriber.
+    cursors: BTreeMap<SubscriptionId, u64>,
+}
+
+/// A thread-safe, versioned key/value context store.
+///
+/// ```
+/// use legaliot_context::{ContextStore, ContextValue, Timestamp};
+/// let store = ContextStore::new();
+/// store.set("emergency.active", true, Timestamp::ZERO);
+/// let snap = store.snapshot();
+/// assert!(snap.is_true("emergency.active"));
+/// ```
+#[derive(Debug, Default)]
+pub struct ContextStore {
+    inner: RwLock<StoreInner>,
+}
+
+impl ContextStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a key to a value, recording the change. Returns the new store version.
+    pub fn set(
+        &self,
+        key: impl Into<ContextKey>,
+        value: impl Into<ContextValue>,
+        at: Timestamp,
+    ) -> u64 {
+        let key = key.into();
+        let value = value.into();
+        let mut inner = self.inner.write();
+        inner.version += 1;
+        let version = inner.version;
+        let previous = inner.values.insert(key.clone(), value.clone());
+        inner.changes.push(ContextChange {
+            version,
+            at,
+            key,
+            previous,
+            current: Some(value),
+        });
+        version
+    }
+
+    /// Removes a key, recording the change if the key existed. Returns the new version
+    /// (unchanged if the key was absent).
+    pub fn remove(&self, key: &ContextKey, at: Timestamp) -> u64 {
+        let mut inner = self.inner.write();
+        if let Some(previous) = inner.values.remove(key) {
+            inner.version += 1;
+            let version = inner.version;
+            inner.changes.push(ContextChange {
+                version,
+                at,
+                key: key.clone(),
+                previous: Some(previous),
+                current: None,
+            });
+        }
+        inner.version
+    }
+
+    /// The current value for a key, if any.
+    pub fn get(&self, key: &ContextKey) -> Option<ContextValue> {
+        self.inner.read().values.get(key).cloned()
+    }
+
+    /// The current store version (0 if never written).
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    /// Takes a consistent snapshot of the whole store.
+    pub fn snapshot(&self) -> ContextSnapshot {
+        let inner = self.inner.read();
+        ContextSnapshot {
+            version: inner.version,
+            at: inner.changes.last().map(|c| c.at).unwrap_or(Timestamp::ZERO),
+            values: inner.values.clone(),
+        }
+    }
+
+    /// Registers a subscriber; its cursor starts at the current version, so it will
+    /// only see future changes.
+    pub fn subscribe(&self) -> SubscriptionId {
+        let mut inner = self.inner.write();
+        inner.next_subscription += 1;
+        let id = SubscriptionId(inner.next_subscription);
+        let version = inner.version;
+        inner.cursors.insert(id, version);
+        id
+    }
+
+    /// Returns (and consumes) the changes a subscriber has not yet seen.
+    pub fn poll(&self, id: SubscriptionId) -> Vec<ContextChange> {
+        let mut inner = self.inner.write();
+        let cursor = inner.cursors.get(&id).copied().unwrap_or(0);
+        let fresh: Vec<ContextChange> = inner
+            .changes
+            .iter()
+            .filter(|c| c.version > cursor)
+            .cloned()
+            .collect();
+        let newest = inner.version;
+        inner.cursors.insert(id, newest);
+        fresh
+    }
+
+    /// The full change history (for audit and tests).
+    pub fn history(&self) -> Vec<ContextChange> {
+        self.inner.read().changes.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_remove() {
+        let store = ContextStore::new();
+        assert_eq!(store.version(), 0);
+        let v1 = store.set("patient.hr", 72i64, Timestamp(10));
+        assert_eq!(v1, 1);
+        assert_eq!(
+            store.get(&ContextKey::new("patient.hr")),
+            Some(ContextValue::Integer(72))
+        );
+        let v2 = store.remove(&ContextKey::new("patient.hr"), Timestamp(20));
+        assert_eq!(v2, 2);
+        assert_eq!(store.get(&ContextKey::new("patient.hr")), None);
+        // Removing an absent key does not bump the version.
+        assert_eq!(store.remove(&ContextKey::new("patient.hr"), Timestamp(30)), 2);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_and_versioned() {
+        let store = ContextStore::new();
+        store.set("a", 1i64, Timestamp(1));
+        store.set("b", 2i64, Timestamp(2));
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 2);
+        assert_eq!(snap.taken_at(), Timestamp(2));
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        // Later writes do not affect the snapshot.
+        store.set("a", 99i64, Timestamp(3));
+        assert_eq!(snap.get_name("a"), Some(&ContextValue::Integer(1)));
+    }
+
+    #[test]
+    fn is_true_helper() {
+        let snap = ContextSnapshot::from_pairs([("emergency.active", true)]);
+        assert!(snap.is_true("emergency.active"));
+        assert!(!snap.is_true("missing"));
+        let snap2 = ContextSnapshot::from_pairs([("flag", false)]);
+        assert!(!snap2.is_true("flag"));
+    }
+
+    #[test]
+    fn subscription_sees_only_future_changes() {
+        let store = ContextStore::new();
+        store.set("before", 1i64, Timestamp(1));
+        let sub = store.subscribe();
+        assert!(store.poll(sub).is_empty());
+        store.set("after", 2i64, Timestamp(2));
+        store.set("after", 3i64, Timestamp(3));
+        let changes = store.poll(sub);
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].key, ContextKey::new("after"));
+        assert_eq!(changes[1].previous, Some(ContextValue::Integer(2)));
+        // Polling again yields nothing until a new change arrives.
+        assert!(store.poll(sub).is_empty());
+    }
+
+    #[test]
+    fn multiple_subscribers_have_independent_cursors() {
+        let store = ContextStore::new();
+        let s1 = store.subscribe();
+        store.set("x", 1i64, Timestamp(1));
+        let s2 = store.subscribe();
+        store.set("y", 2i64, Timestamp(2));
+        assert_eq!(store.poll(s1).len(), 2);
+        assert_eq!(store.poll(s2).len(), 1);
+    }
+
+    #[test]
+    fn history_records_everything() {
+        let store = ContextStore::new();
+        store.set("k", 1i64, Timestamp(1));
+        store.set("k", 2i64, Timestamp(2));
+        store.remove(&ContextKey::new("k"), Timestamp(3));
+        let history = store.history();
+        assert_eq!(history.len(), 3);
+        assert_eq!(history[2].current, None);
+        assert!(history[0].to_string().contains("k"));
+        assert!(history[2].to_string().contains("removed"));
+    }
+
+    #[test]
+    fn snapshot_iter_is_sorted() {
+        let snap = ContextSnapshot::from_pairs([("b", 1i64), ("a", 2i64)]);
+        let keys: Vec<_> = snap.iter().map(|(k, _)| k.name().to_string()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    proptest! {
+        /// The version equals the number of effective changes, and history length matches.
+        #[test]
+        fn prop_version_counts_changes(keys in proptest::collection::vec("[a-c]", 1..20)) {
+            let store = ContextStore::new();
+            for (i, k) in keys.iter().enumerate() {
+                store.set(k.as_str(), i as i64, Timestamp(i as u64));
+            }
+            prop_assert_eq!(store.version(), keys.len() as u64);
+            prop_assert_eq!(store.history().len(), keys.len());
+        }
+
+        /// A subscriber that polls after every write sees every change exactly once, in order.
+        #[test]
+        fn prop_subscriber_sees_each_change_once(values in proptest::collection::vec(0i64..100, 1..20)) {
+            let store = ContextStore::new();
+            let sub = store.subscribe();
+            let mut seen = Vec::new();
+            for (i, v) in values.iter().enumerate() {
+                store.set("k", *v, Timestamp(i as u64));
+                seen.extend(store.poll(sub));
+            }
+            prop_assert_eq!(seen.len(), values.len());
+            let versions: Vec<u64> = seen.iter().map(|c| c.version).collect();
+            let mut sorted = versions.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(versions, sorted);
+        }
+    }
+}

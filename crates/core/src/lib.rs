@@ -1,0 +1,19 @@
+//! # legaliot-core
+//!
+//! The facade crate: a [`Deployment`] wires together the context store, policy engine,
+//! policy-enforcing middleware, audit/provenance and compliance layers built in the
+//! sibling crates, realising the feedback loop of Fig. 1 (law → policy → enforcement →
+//! audit → compliance demonstration) over the IoT entity model of `legaliot-iot`.
+//!
+//! The [`scenarios`] module builds the paper's worked example — the medical
+//! home-monitoring deployment of §7 (Figs. 4–7) — on top of a `Deployment`; the
+//! examples and integration tests at the workspace root drive it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod scenarios;
+
+pub use deployment::{Deployment, TickReport};
+pub use scenarios::{HomeMonitoringScenario, ScenarioOutcome};

@@ -1,0 +1,127 @@
+//! Error types for IFC operations.
+
+use std::fmt;
+
+use crate::flow::FlowDenialReason;
+use crate::tag::Tag;
+
+/// Errors raised by IFC label, privilege and gateway operations.
+///
+/// Flow *denials* are not errors: they are the normal output of a flow check and are
+/// represented by [`crate::FlowDecision::Denied`]. `IfcError` covers misuse of the API
+/// (e.g. attempting a label change without holding the corresponding privilege).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IfcError {
+    /// An entity attempted to add a tag to a label without holding the `add` privilege.
+    MissingAddPrivilege {
+        /// The tag the entity attempted to add.
+        tag: Tag,
+        /// Whether the attempt targeted the secrecy label (`true`) or integrity label.
+        secrecy: bool,
+    },
+    /// An entity attempted to remove a tag from a label without holding the `remove`
+    /// privilege.
+    MissingRemovePrivilege {
+        /// The tag the entity attempted to remove.
+        tag: Tag,
+        /// Whether the attempt targeted the secrecy label (`true`) or integrity label.
+        secrecy: bool,
+    },
+    /// A privilege delegation was attempted by an entity that does not own the tag.
+    NotTagOwner {
+        /// The tag whose ownership was required.
+        tag: Tag,
+    },
+    /// A flow was attempted but denied; carries the structured denial reason.
+    FlowDenied {
+        /// Why the flow was denied.
+        reason: FlowDenialReason,
+    },
+    /// A tag name was rejected by the registry (empty, malformed or clashing).
+    InvalidTagName {
+        /// The offending name.
+        name: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An unknown entity was referenced.
+    UnknownEntity {
+        /// The textual id of the missing entity.
+        id: String,
+    },
+    /// A gateway was asked to perform a transformation it is not privileged for.
+    GatewayNotPrivileged {
+        /// Name of the gateway.
+        gateway: String,
+        /// Detail of the missing privilege.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IfcError::MissingAddPrivilege { tag, secrecy } => write!(
+                f,
+                "missing privilege to add tag `{tag}` to the {} label",
+                if *secrecy { "secrecy" } else { "integrity" }
+            ),
+            IfcError::MissingRemovePrivilege { tag, secrecy } => write!(
+                f,
+                "missing privilege to remove tag `{tag}` from the {} label",
+                if *secrecy { "secrecy" } else { "integrity" }
+            ),
+            IfcError::NotTagOwner { tag } => {
+                write!(f, "entity does not own tag `{tag}` and cannot delegate it")
+            }
+            IfcError::FlowDenied { reason } => write!(f, "flow denied: {reason}"),
+            IfcError::InvalidTagName { name, detail } => {
+                write!(f, "invalid tag name `{name}`: {detail}")
+            }
+            IfcError::UnknownEntity { id } => write!(f, "unknown entity `{id}`"),
+            IfcError::GatewayNotPrivileged { gateway, detail } => {
+                write!(f, "gateway `{gateway}` lacks privilege: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IfcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Tag;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = IfcError::MissingAddPrivilege {
+            tag: Tag::new("medical"),
+            secrecy: true,
+        };
+        let s = err.to_string();
+        assert!(s.contains("medical"));
+        assert!(s.contains("secrecy"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IfcError>();
+    }
+
+    #[test]
+    fn not_tag_owner_display() {
+        let err = IfcError::NotTagOwner {
+            tag: Tag::new("consent"),
+        };
+        assert!(err.to_string().contains("consent"));
+    }
+
+    #[test]
+    fn unknown_entity_display() {
+        let err = IfcError::UnknownEntity { id: "e-42".into() };
+        assert!(err.to_string().contains("e-42"));
+    }
+}

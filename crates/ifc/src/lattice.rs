@@ -1,0 +1,140 @@
+//! Lattice operations over labels and security contexts.
+//!
+//! Secrecy and integrity order dually: for a flow `A → B`, secrecy may only *grow*
+//! (`S(A) ⊆ S(B)`) while integrity may only *shrink* (`I(B) ⊆ I(A)`). The join of two
+//! security contexts — the least restrictive context that both may flow into — therefore
+//! takes the union of secrecy labels and the intersection of integrity labels. This is
+//! the label computed for data derived from multiple sources (§3 Concern 5, data
+//! amalgamation) and is what the statistics generator of Fig. 6 starts from.
+
+use crate::label::Label;
+use crate::tag::SecurityContext;
+
+/// The join (least upper bound) of two secrecy-ordered labels: set union.
+pub fn label_join(a: &Label, b: &Label) -> Label {
+    a.union(b)
+}
+
+/// The meet (greatest lower bound) of two secrecy-ordered labels: set intersection.
+pub fn label_meet(a: &Label, b: &Label) -> Label {
+    a.intersection(b)
+}
+
+/// The join of two security contexts in the flow order: the least-constrained context
+/// that both `a` and `b` may flow into.
+///
+/// `S = S(a) ∪ S(b)`, `I = I(a) ∩ I(b)`. Data derived from two sources must carry this
+/// context (or one even more constrained).
+///
+/// ```
+/// use legaliot_ifc::{SecurityContext, context_join, can_flow};
+/// let ann = SecurityContext::from_names(["medical", "ann"], ["hosp-dev", "consent"]);
+/// let zeb = SecurityContext::from_names(["medical", "zeb"], ["zeb-dev", "consent"]);
+/// let combined = context_join(&ann, &zeb);
+/// assert!(can_flow(&ann, &combined).is_allowed());
+/// assert!(can_flow(&zeb, &combined).is_allowed());
+/// assert!(combined.integrity().contains_name("consent"));
+/// assert!(!combined.integrity().contains_name("hosp-dev"));
+/// ```
+pub fn context_join(a: &SecurityContext, b: &SecurityContext) -> SecurityContext {
+    SecurityContext::new(
+        a.secrecy().union(b.secrecy()),
+        a.integrity().intersection(b.integrity()),
+    )
+}
+
+/// The meet of two security contexts in the flow order: the most-constrained context
+/// that may flow into both `a` and `b`.
+///
+/// `S = S(a) ∩ S(b)`, `I = I(a) ∪ I(b)`.
+pub fn context_meet(a: &SecurityContext, b: &SecurityContext) -> SecurityContext {
+    SecurityContext::new(
+        a.secrecy().intersection(b.secrecy()),
+        a.integrity().union(b.integrity()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::can_flow;
+    use proptest::prelude::*;
+
+    fn ctx(s: &[&str], i: &[&str]) -> SecurityContext {
+        SecurityContext::from_names(s.iter().copied(), i.iter().copied())
+    }
+
+    #[test]
+    fn join_combines_sources() {
+        let ann = ctx(&["medical", "ann"], &["hosp-dev", "consent"]);
+        let zeb = ctx(&["medical", "zeb"], &["zeb-dev", "consent"]);
+        let j = context_join(&ann, &zeb);
+        assert_eq!(j.secrecy(), &Label::from_names(["medical", "ann", "zeb"]));
+        assert_eq!(j.integrity(), &Label::from_names(["consent"]));
+    }
+
+    #[test]
+    fn meet_is_dual() {
+        let a = ctx(&["x", "y"], &["p"]);
+        let b = ctx(&["y", "z"], &["q"]);
+        let m = context_meet(&a, &b);
+        assert_eq!(m.secrecy(), &Label::from_names(["y"]));
+        assert_eq!(m.integrity(), &Label::from_names(["p", "q"]));
+    }
+
+    #[test]
+    fn label_join_meet_are_union_intersection() {
+        let a = Label::from_names(["a", "b"]);
+        let b = Label::from_names(["b", "c"]);
+        assert_eq!(label_join(&a, &b), Label::from_names(["a", "b", "c"]));
+        assert_eq!(label_meet(&a, &b), Label::from_names(["b"]));
+    }
+
+    fn arb_ctx() -> impl Strategy<Value = SecurityContext> {
+        let label = || {
+            proptest::collection::btree_set("[a-d]{1,2}", 0..4)
+                .prop_map(|n| Label::from_names(n))
+        };
+        (label(), label()).prop_map(|(s, i)| SecurityContext::new(s, i))
+    }
+
+    proptest! {
+        /// Both inputs may flow into their join; the join may flow into both via the meet dual.
+        #[test]
+        fn prop_join_is_upper_bound(a in arb_ctx(), b in arb_ctx()) {
+            let j = context_join(&a, &b);
+            prop_assert!(can_flow(&a, &j).is_allowed());
+            prop_assert!(can_flow(&b, &j).is_allowed());
+        }
+
+        /// The meet may flow into both inputs.
+        #[test]
+        fn prop_meet_is_lower_bound(a in arb_ctx(), b in arb_ctx()) {
+            let m = context_meet(&a, &b);
+            prop_assert!(can_flow(&m, &a).is_allowed());
+            prop_assert!(can_flow(&m, &b).is_allowed());
+        }
+
+        /// The join is the *least* upper bound: it can flow into any other upper bound.
+        #[test]
+        fn prop_join_is_least(a in arb_ctx(), b in arb_ctx(), c in arb_ctx()) {
+            if can_flow(&a, &c).is_allowed() && can_flow(&b, &c).is_allowed() {
+                let j = context_join(&a, &b);
+                prop_assert!(can_flow(&j, &c).is_allowed());
+            }
+        }
+
+        /// Join and meet are idempotent, commutative and associative on contexts.
+        #[test]
+        fn prop_context_lattice_laws(a in arb_ctx(), b in arb_ctx(), c in arb_ctx()) {
+            prop_assert_eq!(context_join(&a, &a), a.clone());
+            prop_assert_eq!(context_meet(&a, &a), a.clone());
+            prop_assert_eq!(context_join(&a, &b), context_join(&b, &a));
+            prop_assert_eq!(context_meet(&a, &b), context_meet(&b, &a));
+            prop_assert_eq!(
+                context_join(&context_join(&a, &b), &c),
+                context_join(&a, &context_join(&b, &c))
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # legaliot-kernel
+//!
+//! A CamFlow-style OS-level IFC enforcement simulator (§8.2.1 of Singh et al.,
+//! Middleware 2016).
+//!
+//! CamFlow implements IFC "at the OS kernel level, for entities co-hosted in the same OS
+//! instance, including for inter-process communication", as a Linux Security Module
+//! whose hooks are "invoked on system calls to decide whether a call is allowed to
+//! proceed", attaching to each kernel object "a structure for storing security metadata
+//! comprising the object's security context and privileges".
+//!
+//! This crate reproduces that architecture in simulation: an [`Os`] holds processes and
+//! kernel objects (files, pipes, sockets, shared memory), every "system call" passes
+//! through the [`lsm`] hook layer, which applies the IFC flow rule from `legaliot-ifc`,
+//! records an audit event, and either permits or refuses the call — without the calling
+//! "application" needing any awareness of IFC, exactly the transparency property the
+//! paper stresses. Per-call overhead counters support experiment E12 ("the LSM
+//! performance overhead is minimal").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lsm;
+pub mod os;
+
+pub use lsm::{EnforcementMode, HookStats, LsmHooks};
+pub use os::{KernelError, KernelObjectId, ObjectKind, Os, ProcessId, SyscallOutcome};

@@ -1,0 +1,965 @@
+//! The middleware deployment object: registry + channels + enforcement + audit.
+//!
+//! Enforcement follows §8.2.2: "Enforcement occurs on the establishment of communication
+//! (messaging) channels. A channel is only established if the policy allows, i.e. the
+//! tags of the components accord. Specifically, this involves augmenting the standard MW
+//! AC (principal and contextual policy) enforcement with a subsequent evaluation of IFC
+//! policy … This is monitored throughout the connection's lifetime, where an entity
+//! changing its security context triggers re-evaluation."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use legaliot_audit::{AuditEvent, AuditLog};
+use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_ifc::{can_flow, FlowDecision, SecurityContext, TagRegistry};
+use legaliot_policy::ReconfigurationCommand;
+
+use crate::acl::{AccessRegime, Operation, Principal};
+use crate::component::{Component, Registry};
+use crate::control::{ControlMessage, ControlOutcome, ReconfigureOp};
+use crate::schema::Message;
+
+/// Errors raised by middleware operations (not enforcement denials, which are outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiddlewareError {
+    /// The referenced component is not registered.
+    UnknownComponent {
+        /// The missing component's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiddlewareError::UnknownComponent { name } => {
+                write!(f, "unknown component `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {}
+
+/// The state of a channel between two components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelState {
+    /// Established and usable.
+    Open,
+    /// Torn down (kept for audit; re-establishment goes through the full checks again).
+    Closed,
+}
+
+/// A directed channel between two components.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Source component.
+    pub from: String,
+    /// Destination component.
+    pub to: String,
+    /// Current state.
+    pub state: ChannelState,
+}
+
+/// The outcome of attempting to deliver a message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeliveryOutcome {
+    /// Delivered; lists any attributes removed by source quenching (Fig. 10).
+    Delivered {
+        /// Names of attributes quenched because their message-level tags did not accord.
+        quenched_attributes: Vec<String>,
+    },
+    /// No open channel between the components.
+    NoChannel,
+    /// The access-control regime denied the interaction.
+    DeniedByAccessControl {
+        /// Why.
+        reason: String,
+    },
+    /// The IFC flow check denied the interaction.
+    DeniedByIfc(FlowDecision),
+    /// The message does not conform to its declared schema.
+    SchemaViolation {
+        /// Why.
+        reason: String,
+    },
+    /// One of the endpoints is isolated.
+    Isolated,
+}
+
+impl DeliveryOutcome {
+    /// Whether the message (possibly quenched) reached the destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, DeliveryOutcome::Delivered { .. })
+    }
+}
+
+/// The policy-enforcing middleware: component registry, AC regime, channels, per-node
+/// mailboxes, notifications, and an audit log of every decision.
+#[derive(Debug)]
+pub struct Middleware {
+    registry: Registry,
+    access: AccessRegime,
+    tag_registry: TagRegistry,
+    channels: BTreeMap<(String, String), ChannelState>,
+    mailboxes: BTreeMap<String, Vec<Message>>,
+    notifications: Vec<(String, String)>,
+    actuations: Vec<(String, String)>,
+    audit: AuditLog,
+}
+
+impl Middleware {
+    /// Creates an empty middleware deployment recording audit under the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Middleware {
+            registry: Registry::new(),
+            access: AccessRegime::new(),
+            tag_registry: TagRegistry::new(),
+            channels: BTreeMap::new(),
+            mailboxes: BTreeMap::new(),
+            notifications: Vec::new(),
+            actuations: Vec::new(),
+            audit: AuditLog::new(name),
+        }
+    }
+
+    /// The component registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the component registry (registration, schema registration).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The access-control regime.
+    pub fn access(&self) -> &AccessRegime {
+        &self.access
+    }
+
+    /// Mutable access to the AC regime.
+    pub fn access_mut(&mut self) -> &mut AccessRegime {
+        &mut self.access
+    }
+
+    /// The global tag registry (ownership checks for privilege grants).
+    pub fn tag_registry(&self) -> &TagRegistry {
+        &self.tag_registry
+    }
+
+    /// Mutable access to the tag registry.
+    pub fn tag_registry_mut(&mut self) -> &mut TagRegistry {
+        &mut self.tag_registry
+    }
+
+    /// The audit log recorded by this middleware instance.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Notifications sent to principals (recipient, message), in order.
+    pub fn notifications(&self) -> &[(String, String)] {
+        &self.notifications
+    }
+
+    /// Actuation commands delivered to devices (component, command), in order.
+    pub fn actuations(&self) -> &[(String, String)] {
+        &self.actuations
+    }
+
+    /// Records a notification to a principal (e.g. from a policy `Notify` action).
+    pub fn notify(&mut self, recipient: impl Into<String>, message: impl Into<String>) {
+        self.notifications.push((recipient.into(), message.into()));
+    }
+
+    /// Appends an externally produced audit event (e.g. a break-glass activation
+    /// recorded by the deployment layer) to this middleware's audit log.
+    pub fn record_audit_event(&mut self, event: AuditEvent, at_millis: u64) {
+        self.audit.record(event, at_millis);
+    }
+
+    /// All channels and their state.
+    pub fn channels(&self) -> Vec<Channel> {
+        self.channels
+            .iter()
+            .map(|((from, to), state)| Channel {
+                from: from.clone(),
+                to: to.clone(),
+                state: *state,
+            })
+            .collect()
+    }
+
+    /// Number of currently open channels.
+    pub fn open_channel_count(&self) -> usize {
+        self.channels
+            .values()
+            .filter(|s| **s == ChannelState::Open)
+            .count()
+    }
+
+    fn component(&self, name: &str) -> Result<&Component, MiddlewareError> {
+        self.registry
+            .get(name)
+            .ok_or_else(|| MiddlewareError::UnknownComponent { name: name.to_string() })
+    }
+
+    /// Attempts to establish a channel `from → to`.
+    ///
+    /// The full check sequence of §8.2.2: isolation, then AC (the *sender's* principal
+    /// must hold `Send` rights on the destination component), then IFC between the two
+    /// components' security contexts. Every attempt is audited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::UnknownComponent`] if either endpoint is unregistered.
+    pub fn establish_channel(
+        &mut self,
+        from: &str,
+        to: &str,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Result<DeliveryOutcome, MiddlewareError> {
+        let source = self.component(from)?.clone();
+        let destination = self.component(to)?.clone();
+
+        let outcome = if source.is_isolated() || destination.is_isolated() {
+            DeliveryOutcome::Isolated
+        } else {
+            let ac = self.access.decide(
+                to,
+                source.principal(),
+                Operation::Send,
+                None,
+                snapshot,
+                now,
+            );
+            if !ac.is_allowed() {
+                let reason = match ac {
+                    crate::acl::AccessDecision::Denied { reason } => reason,
+                    _ => unreachable!("allowed handled above"),
+                };
+                DeliveryOutcome::DeniedByAccessControl { reason }
+            } else {
+                let decision = can_flow(source.context(), destination.context());
+                if decision.is_denied() {
+                    DeliveryOutcome::DeniedByIfc(decision)
+                } else {
+                    DeliveryOutcome::Delivered { quenched_attributes: Vec::new() }
+                }
+            }
+        };
+
+        let established = outcome.is_delivered();
+        if established {
+            self.channels
+                .insert((from.to_string(), to.to_string()), ChannelState::Open);
+        }
+        self.audit.record(
+            AuditEvent::ChannelChanged {
+                from: from.to_string(),
+                to: to.to_string(),
+                established,
+                reason: match &outcome {
+                    DeliveryOutcome::Delivered { .. } => "checks passed".to_string(),
+                    DeliveryOutcome::Isolated => "endpoint isolated".to_string(),
+                    DeliveryOutcome::DeniedByAccessControl { reason } => reason.clone(),
+                    DeliveryOutcome::DeniedByIfc(d) => format!("ifc: {d}"),
+                    DeliveryOutcome::SchemaViolation { reason } => reason.clone(),
+                    DeliveryOutcome::NoChannel => "no channel".to_string(),
+                },
+            },
+            now.as_millis(),
+        );
+        Ok(outcome)
+    }
+
+    /// Tears down the channel `from → to`, if present.
+    pub fn teardown_channel(&mut self, from: &str, to: &str, now: Timestamp) {
+        if let Some(state) = self.channels.get_mut(&(from.to_string(), to.to_string())) {
+            *state = ChannelState::Closed;
+            self.audit.record(
+                AuditEvent::ChannelChanged {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    established: false,
+                    reason: "torn down".to_string(),
+                },
+                now.as_millis(),
+            );
+        }
+    }
+
+    /// Whether an open channel `from → to` exists.
+    pub fn has_open_channel(&self, from: &str, to: &str) -> bool {
+        self.channels.get(&(from.to_string(), to.to_string())) == Some(&ChannelState::Open)
+    }
+
+    /// Re-evaluates every open channel against the endpoints' *current* security
+    /// contexts, closing those whose IFC check no longer passes. Returns the closed
+    /// pairs. Called after any reconfiguration that changes labels (§8.2.2).
+    pub fn reevaluate_channels(&mut self, now: Timestamp) -> Vec<(String, String)> {
+        let mut closed = Vec::new();
+        let pairs: Vec<(String, String)> = self
+            .channels
+            .iter()
+            .filter(|(_, s)| **s == ChannelState::Open)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for (from, to) in pairs {
+            let ok = match (self.registry.get(&from), self.registry.get(&to)) {
+                (Some(a), Some(b)) => {
+                    !a.is_isolated()
+                        && !b.is_isolated()
+                        && can_flow(a.context(), b.context()).is_allowed()
+                }
+                _ => false,
+            };
+            if !ok {
+                self.channels
+                    .insert((from.clone(), to.clone()), ChannelState::Closed);
+                self.audit.record(
+                    AuditEvent::ChannelChanged {
+                        from: from.clone(),
+                        to: to.clone(),
+                        established: false,
+                        reason: "re-evaluation after context change".to_string(),
+                    },
+                    now.as_millis(),
+                );
+                closed.push((from, to));
+            }
+        }
+        closed
+    }
+
+    /// Sends a typed message over an established channel.
+    ///
+    /// Checks, in order: channel exists and is open; neither endpoint isolated; schema
+    /// conformance (if a schema is registered for the type); AC for the sender on the
+    /// destination at message-type granularity; IFC between the *message's effective
+    /// context* (sender context joined with message context) and the destination; then
+    /// per-attribute source quenching against message-level tags (Fig. 10). Every
+    /// attempted send is audited as a flow check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::UnknownComponent`] if either endpoint is unregistered.
+    pub fn send(
+        &mut self,
+        from: &str,
+        to: &str,
+        mut message: Message,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Result<DeliveryOutcome, MiddlewareError> {
+        let source = self.component(from)?.clone();
+        let destination = self.component(to)?.clone();
+
+        if !self.has_open_channel(from, to) {
+            return Ok(DeliveryOutcome::NoChannel);
+        }
+        if source.is_isolated() || destination.is_isolated() {
+            return Ok(DeliveryOutcome::Isolated);
+        }
+        if let Some(schema) = self.registry.schema(&message.message_type) {
+            if let Err(reason) = schema.validate(&message) {
+                return Ok(DeliveryOutcome::SchemaViolation { reason });
+            }
+        }
+        let ac = self.access.decide(
+            to,
+            source.principal(),
+            Operation::Send,
+            Some(&message.message_type),
+            snapshot,
+            now,
+        );
+        if !ac.is_allowed() {
+            let reason = match ac {
+                crate::acl::AccessDecision::Denied { reason } => reason,
+                _ => unreachable!(),
+            };
+            return Ok(DeliveryOutcome::DeniedByAccessControl { reason });
+        }
+
+        // The message carries at least the sender's current context: application-supplied
+        // message-level secrecy tags are *added* (they can only constrain further), while
+        // integrity comes from the sender alone — an application cannot endorse its own
+        // messages beyond its process-level integrity (§8.2.2).
+        let effective_context: SecurityContext = SecurityContext::new(
+            source.context().secrecy().union(message.context.secrecy()),
+            source.context().integrity().clone(),
+        );
+        let decision = can_flow(&effective_context, destination.context());
+        self.audit.record(
+            AuditEvent::FlowChecked {
+                source: from.to_string(),
+                destination: to.to_string(),
+                source_context: effective_context.clone(),
+                destination_context: destination.context().clone(),
+                decision: decision.clone(),
+                data_item: Some(format!("{}@{}", message.message_type, now.as_millis())),
+            },
+            now.as_millis(),
+        );
+        if decision.is_denied() {
+            return Ok(DeliveryOutcome::DeniedByIfc(decision));
+        }
+
+        // Source quenching: attributes whose message-level secrecy tags are not all
+        // present in the destination's secrecy label are removed (Fig. 10).
+        let mut quenched = Vec::new();
+        if let Some(schema) = self.registry.schema(&message.message_type) {
+            for (name, label) in &schema.attribute_secrecy {
+                if message.attributes.contains_key(name)
+                    && !label.is_subset(destination.context().secrecy())
+                {
+                    quenched.push(name.clone());
+                }
+            }
+        }
+        let delivered = message.clone().quenched(&quenched);
+        message.sender = from.to_string();
+        message.sent_at_millis = now.as_millis();
+        let mut delivered = delivered;
+        delivered.sender = from.to_string();
+        delivered.sent_at_millis = now.as_millis();
+        delivered.context = effective_context;
+        self.mailboxes.entry(to.to_string()).or_default().push(delivered);
+        Ok(DeliveryOutcome::Delivered { quenched_attributes: quenched })
+    }
+
+    /// Drains the mailbox of a component.
+    pub fn receive(&mut self, component: &str) -> Vec<Message> {
+        self.mailboxes
+            .get_mut(component)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Handles a third-party reconfiguration control message (Fig. 8): authorises it
+    /// against the AC regime (`Reconfigure` on the target), applies the operation, and
+    /// re-evaluates channels when labels changed. Every control message is audited,
+    /// accepted or not.
+    pub fn handle_control(
+        &mut self,
+        message: &ControlMessage,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> ControlOutcome {
+        let outcome = self.apply_control_inner(message, snapshot, now);
+        self.audit.record(
+            AuditEvent::Reconfigured {
+                component: message.target.clone(),
+                issued_by: message.issued_by.clone(),
+                action: message.op.to_string(),
+                accepted: outcome.is_applied(),
+            },
+            now.as_millis(),
+        );
+        outcome
+    }
+
+    fn apply_control_inner(
+        &mut self,
+        message: &ControlMessage,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> ControlOutcome {
+        if self.registry.get(&message.target).is_none() {
+            return ControlOutcome::UnknownTarget;
+        }
+        let issuer = Principal::new(message.issued_by.clone()).with_role("policy-engine");
+        let ac = self.access.decide(
+            &message.target,
+            &issuer,
+            Operation::Reconfigure,
+            None,
+            snapshot,
+            now,
+        );
+        if !ac.is_allowed() {
+            let reason = match ac {
+                crate::acl::AccessDecision::Denied { reason } => reason,
+                _ => unreachable!(),
+            };
+            return ControlOutcome::Unauthorised { reason };
+        }
+
+        let mut labels_changed = false;
+        let result = match &message.op {
+            ReconfigureOp::SetContext { context } => {
+                let target = self.registry.get_mut(&message.target).expect("checked above");
+                target.entity_mut().set_context_trusted(context.clone());
+                labels_changed = true;
+                ControlOutcome::Applied
+            }
+            ReconfigureOp::AddTag { tag, secrecy } | ReconfigureOp::RemoveTag { tag, secrecy } => {
+                let add = matches!(message.op, ReconfigureOp::AddTag { .. });
+                let target = self.registry.get_mut(&message.target).expect("checked above");
+                let mut ctx = target.context().clone();
+                let label = if *secrecy { ctx.secrecy_mut() } else { ctx.integrity_mut() };
+                if add {
+                    label.insert(tag.clone());
+                } else {
+                    label.remove(tag);
+                }
+                target.entity_mut().set_context_trusted(ctx);
+                labels_changed = true;
+                ControlOutcome::Applied
+            }
+            ReconfigureOp::GrantPrivilege { privilege } => {
+                // The issuing authority must own the tag to delegate privileges over it
+                // (§6 Tag Ownership), when the tag is registered.
+                if self.tag_registry.contains(&privilege.tag) {
+                    if let Err(e) = self
+                        .tag_registry
+                        .ownership()
+                        .authorise_delegation(&privilege.tag, &message.issued_by)
+                    {
+                        return ControlOutcome::Failed { reason: e.to_string() };
+                    }
+                }
+                let target = self.registry.get_mut(&message.target).expect("checked above");
+                target
+                    .entity_mut()
+                    .privileges_mut()
+                    .grant(privilege.tag.clone(), privilege.kind);
+                ControlOutcome::Applied
+            }
+            ReconfigureOp::RevokePrivilege { privilege } => {
+                let target = self.registry.get_mut(&message.target).expect("checked above");
+                target
+                    .entity_mut()
+                    .privileges_mut()
+                    .revoke(&privilege.tag, privilege.kind);
+                ControlOutcome::Applied
+            }
+            ReconfigureOp::Connect { to } => {
+                match self.establish_channel(&message.target, to, snapshot, now) {
+                    Ok(outcome) if outcome.is_delivered() => ControlOutcome::Applied,
+                    Ok(other) => ControlOutcome::Failed {
+                        reason: format!("channel establishment refused: {other:?}"),
+                    },
+                    Err(e) => ControlOutcome::Failed { reason: e.to_string() },
+                }
+            }
+            ReconfigureOp::Disconnect { to } => {
+                self.teardown_channel(&message.target, to, now);
+                ControlOutcome::Applied
+            }
+            ReconfigureOp::Isolate | ReconfigureOp::Deisolate => {
+                let isolate = matches!(message.op, ReconfigureOp::Isolate);
+                let target = self.registry.get_mut(&message.target).expect("checked above");
+                target.set_isolated(isolate);
+                labels_changed = true;
+                ControlOutcome::Applied
+            }
+            ReconfigureOp::Actuate { command } => {
+                self.actuations.push((message.target.clone(), command.clone()));
+                ControlOutcome::Applied
+            }
+        };
+        if labels_changed {
+            self.reevaluate_channels(now);
+        }
+        result
+    }
+
+    /// Applies a policy-engine command: `Notify` actions become notifications, addressed
+    /// actions become control messages handled through the normal authorised path.
+    /// Returns the control outcomes (empty for pure notifications).
+    pub fn apply_command(
+        &mut self,
+        command: &ReconfigurationCommand,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Vec<ControlOutcome> {
+        if let legaliot_policy::Action::Notify { recipient, message } = &command.action {
+            self.notify(recipient.clone(), message.clone());
+            return Vec::new();
+        }
+        ControlMessage::from_command(command)
+            .iter()
+            .map(|cm| self.handle_control(cm, snapshot, now))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{AccessRule, Subject};
+    use crate::schema::{AttributeKind, AttributeValue, MessageSchema};
+    use legaliot_ifc::{Label, Tag, TagScope};
+
+    fn medical_ctx(patient: &str) -> SecurityContext {
+        SecurityContext::from_names(["medical", patient], ["hosp-dev", "consent"])
+    }
+
+    /// Builds the home-monitoring middleware used across tests: Ann's and Zeb's sensors
+    /// and analysers, open AC for sends, and the policy engine allowed to reconfigure.
+    fn home_monitoring() -> Middleware {
+        let mut mw = Middleware::new("hospital-mw");
+        for (name, owner, ctx) in [
+            ("ann-sensor", "ann", medical_ctx("ann")),
+            ("ann-analyser", "hospital", medical_ctx("ann")),
+            ("zeb-sensor", "zeb", SecurityContext::from_names(["medical", "zeb"], ["zeb-dev", "consent"])),
+            ("zeb-analyser", "hospital", medical_ctx("zeb")),
+        ] {
+            mw.registry_mut().register(
+                Component::builder(name, Principal::new(owner))
+                    .context(ctx)
+                    .produces("sensor-reading")
+                    .consumes("sensor-reading")
+                    .build(),
+            );
+        }
+        for target in ["ann-sensor", "ann-analyser", "zeb-sensor", "zeb-analyser"] {
+            mw.access_mut().add_rule(
+                target,
+                AccessRule::allow(Subject::Anyone, Operation::Send, None),
+            );
+            mw.access_mut().add_rule(
+                target,
+                AccessRule::allow(Subject::Role("policy-engine".into()), Operation::Reconfigure, None),
+            );
+        }
+        mw
+    }
+
+    fn snap() -> ContextSnapshot {
+        ContextSnapshot::default()
+    }
+
+    #[test]
+    fn channel_establishment_checks_ac_then_ifc() {
+        let mut mw = home_monitoring();
+        // Ann's sensor → Ann's analyser: allowed (Fig. 4, legal flow).
+        let outcome = mw
+            .establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1))
+            .unwrap();
+        assert!(outcome.is_delivered());
+        assert!(mw.has_open_channel("ann-sensor", "ann-analyser"));
+        // Zeb's sensor → Ann's analyser: denied by IFC (Fig. 4, illegal flow).
+        let outcome = mw
+            .establish_channel("zeb-sensor", "ann-analyser", &snap(), Timestamp(2))
+            .unwrap();
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByIfc(_)));
+        assert!(!mw.has_open_channel("zeb-sensor", "ann-analyser"));
+        // Both attempts are audited.
+        assert_eq!(mw.audit().len(), 2);
+        // Unknown components error.
+        assert!(mw.establish_channel("ghost", "ann-analyser", &snap(), Timestamp(3)).is_err());
+    }
+
+    #[test]
+    fn channel_denied_without_ac_rule() {
+        let mut mw = home_monitoring();
+        // A component with no AC rules at all is default-deny.
+        mw.registry_mut().register(
+            Component::builder("locked", Principal::new("x"))
+                .context(medical_ctx("ann"))
+                .build(),
+        );
+        let outcome = mw
+            .establish_channel("ann-sensor", "locked", &snap(), Timestamp(1))
+            .unwrap();
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
+    }
+
+    #[test]
+    fn send_requires_open_channel_and_reevaluates_ifc() {
+        let mut mw = home_monitoring();
+        let msg = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", AttributeValue::Float(72.0));
+        // No channel yet.
+        assert_eq!(
+            mw.send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(1)).unwrap(),
+            DeliveryOutcome::NoChannel
+        );
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(2)).unwrap();
+        let outcome = mw
+            .send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(3))
+            .unwrap();
+        assert!(outcome.is_delivered());
+        let inbox = mw.receive("ann-analyser");
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].sender, "ann-sensor");
+        // The delivered message carries the sender's (joined) security context.
+        assert!(inbox[0].context.secrecy().contains_name("medical"));
+        assert!(mw.receive("ann-analyser").is_empty());
+    }
+
+    #[test]
+    fn message_level_tags_are_source_quenched_fig10() {
+        let mut mw = home_monitoring();
+        // `patient-name` carries an extra messaging-level tag `identity` (tag C in
+        // Fig. 10) that Ann's analyser does not hold.
+        mw.registry_mut().register_schema(
+            MessageSchema::new("sensor-reading")
+                .attribute("value", AttributeKind::Float)
+                .sensitive_attribute("patient-name", AttributeKind::Text, Label::from_names(["identity"])),
+        );
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        let msg = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", AttributeValue::Float(72.0))
+            .with("patient-name", AttributeValue::Text("Ann".into()));
+        let outcome = mw
+            .send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(2))
+            .unwrap();
+        match &outcome {
+            DeliveryOutcome::Delivered { quenched_attributes } => {
+                assert_eq!(quenched_attributes, &vec!["patient-name".to_string()]);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        let inbox = mw.receive("ann-analyser");
+        assert!(!inbox[0].attributes.contains_key("patient-name"));
+        assert!(inbox[0].attributes.contains_key("value"));
+
+        // A destination that *does* hold the identity tag receives the full message.
+        mw.registry_mut().register(
+            Component::builder("identity-vault", Principal::new("hospital"))
+                .context(SecurityContext::from_names(
+                    ["medical", "ann", "identity"],
+                    Vec::<&str>::new(),
+                ))
+                .build(),
+        );
+        mw.access_mut().add_rule(
+            "identity-vault",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None),
+        );
+        mw.establish_channel("ann-sensor", "identity-vault", &snap(), Timestamp(3)).unwrap();
+        let msg = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", AttributeValue::Float(72.0))
+            .with("patient-name", AttributeValue::Text("Ann".into()));
+        let outcome = mw
+            .send("ann-sensor", "identity-vault", msg, &snap(), Timestamp(4))
+            .unwrap();
+        assert_eq!(outcome, DeliveryOutcome::Delivered { quenched_attributes: vec![] });
+        assert!(mw.receive("identity-vault")[0].attributes.contains_key("patient-name"));
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let mut mw = home_monitoring();
+        mw.registry_mut().register_schema(
+            MessageSchema::new("sensor-reading").attribute("value", AttributeKind::Float),
+        );
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        let bad = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", AttributeValue::Text("not a number".into()));
+        let outcome = mw
+            .send("ann-sensor", "ann-analyser", bad, &snap(), Timestamp(2))
+            .unwrap();
+        assert!(matches!(outcome, DeliveryOutcome::SchemaViolation { .. }));
+    }
+
+    #[test]
+    fn third_party_reconfiguration_fig8() {
+        let mut mw = home_monitoring();
+        // The hospital policy engine (authorised) connects analyser to a new doctor
+        // component via a control message.
+        mw.registry_mut().register(
+            Component::builder("emergency-doctor", Principal::new("hospital"))
+                .context(medical_ctx("ann"))
+                .build(),
+        );
+        mw.access_mut().add_rule(
+            "emergency-doctor",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None),
+        );
+        let cm = ControlMessage::new(
+            "ann-analyser",
+            ReconfigureOp::Connect { to: "emergency-doctor".into() },
+            "hospital-engine",
+            "emergency-response",
+            10,
+        );
+        let outcome = mw.handle_control(&cm, &snap(), Timestamp(10));
+        assert!(outcome.is_applied());
+        assert!(mw.has_open_channel("ann-analyser", "emergency-doctor"));
+
+        // An unauthorised issuer is refused and audited as rejected.
+        let rogue = ControlMessage::new(
+            "ann-analyser",
+            ReconfigureOp::Isolate,
+            "attacker",
+            "none",
+            11,
+        );
+        // The attacker principal does not hold the policy-engine role rule? It does get
+        // the role in handle_control, but the rule requires Reconfigure on the target,
+        // which "attacker" satisfies via the role. Tighten: restrict reconfiguration of
+        // the analyser to the named engine.
+        mw.access_mut().clear_component("ann-analyser");
+        mw.access_mut().add_rule(
+            "ann-analyser",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None),
+        );
+        mw.access_mut().add_rule(
+            "ann-analyser",
+            AccessRule::allow(
+                Subject::Principal("hospital-engine".into()),
+                Operation::Reconfigure,
+                None,
+            ),
+        );
+        let outcome = mw.handle_control(&rogue, &snap(), Timestamp(11));
+        assert!(matches!(outcome, ControlOutcome::Unauthorised { .. }));
+        // Unknown targets are reported.
+        let ghost = ControlMessage::new("ghost", ReconfigureOp::Isolate, "hospital-engine", "p", 12);
+        assert_eq!(mw.handle_control(&ghost, &snap(), Timestamp(12)), ControlOutcome::UnknownTarget);
+        // All three control messages are in the audit log.
+        assert_eq!(
+            mw.audit()
+                .of_kind(legaliot_audit::AuditEventKind::Reconfigured)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn label_change_triggers_channel_reevaluation() {
+        let mut mw = home_monitoring();
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        assert_eq!(mw.open_channel_count(), 1);
+        // The policy engine adds a secrecy tag to the sensor that the analyser lacks;
+        // the existing channel must be closed on re-evaluation (§8.2.2).
+        let cm = ControlMessage::new(
+            "ann-sensor",
+            ReconfigureOp::AddTag { tag: Tag::new("quarantine"), secrecy: true },
+            "hospital-engine",
+            "incident-response",
+            5,
+        );
+        assert!(mw.handle_control(&cm, &snap(), Timestamp(5)).is_applied());
+        assert_eq!(mw.open_channel_count(), 0);
+        assert!(!mw.has_open_channel("ann-sensor", "ann-analyser"));
+    }
+
+    #[test]
+    fn isolation_blocks_channels_and_sends() {
+        let mut mw = home_monitoring();
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        let cm = ControlMessage::new("ann-sensor", ReconfigureOp::Isolate, "hospital-engine", "p", 2);
+        assert!(mw.handle_control(&cm, &snap(), Timestamp(2)).is_applied());
+        // Open channels involving the isolated component were closed.
+        assert_eq!(mw.open_channel_count(), 0);
+        let msg = Message::new("sensor-reading", SecurityContext::public());
+        assert_eq!(
+            mw.send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(3)).unwrap(),
+            DeliveryOutcome::NoChannel
+        );
+        // New channels are refused while isolated.
+        let outcome = mw
+            .establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(4))
+            .unwrap();
+        assert_eq!(outcome, DeliveryOutcome::Isolated);
+        // Deisolation restores the ability to connect.
+        let cm = ControlMessage::new("ann-sensor", ReconfigureOp::Deisolate, "hospital-engine", "p", 5);
+        assert!(mw.handle_control(&cm, &snap(), Timestamp(5)).is_applied());
+        assert!(mw
+            .establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(6))
+            .unwrap()
+            .is_delivered());
+    }
+
+    #[test]
+    fn privilege_grant_requires_tag_ownership() {
+        let mut mw = home_monitoring();
+        mw.tag_registry_mut()
+            .register(Tag::new("medical"), "medical data", TagScope::Global, true, "hospital-engine")
+            .unwrap();
+        mw.tag_registry_mut()
+            .register(Tag::new("city"), "city data", TagScope::Global, false, "council")
+            .unwrap();
+        // The engine owns `medical`: grant succeeds.
+        let ok = ControlMessage::new(
+            "ann-analyser",
+            ReconfigureOp::GrantPrivilege {
+                privilege: legaliot_ifc::Privilege::new("medical", legaliot_ifc::PrivilegeKind::SecrecyRemove),
+            },
+            "hospital-engine",
+            "p",
+            1,
+        );
+        assert!(mw.handle_control(&ok, &snap(), Timestamp(1)).is_applied());
+        assert!(mw
+            .registry()
+            .get("ann-analyser")
+            .unwrap()
+            .privileges()
+            .permits(&Tag::new("medical"), legaliot_ifc::PrivilegeKind::SecrecyRemove));
+        // The engine does not own `city`: grant fails.
+        let bad = ControlMessage::new(
+            "ann-analyser",
+            ReconfigureOp::GrantPrivilege {
+                privilege: legaliot_ifc::Privilege::new("city", legaliot_ifc::PrivilegeKind::SecrecyRemove),
+            },
+            "hospital-engine",
+            "p",
+            2,
+        );
+        assert!(matches!(
+            mw.handle_control(&bad, &snap(), Timestamp(2)),
+            ControlOutcome::Failed { .. }
+        ));
+        // Revocation is always possible for the authorised engine.
+        let revoke = ControlMessage::new(
+            "ann-analyser",
+            ReconfigureOp::RevokePrivilege {
+                privilege: legaliot_ifc::Privilege::new("medical", legaliot_ifc::PrivilegeKind::SecrecyRemove),
+            },
+            "hospital-engine",
+            "p",
+            3,
+        );
+        assert!(mw.handle_control(&revoke, &snap(), Timestamp(3)).is_applied());
+    }
+
+    #[test]
+    fn apply_command_translates_policy_actions() {
+        let mut mw = home_monitoring();
+        let notify = ReconfigurationCommand::new(
+            "emergency-response",
+            "hospital-engine",
+            legaliot_policy::Action::Notify { recipient: "emergency-doctor".into(), message: "go".into() },
+            1,
+        );
+        assert!(mw.apply_command(&notify, &snap(), Timestamp(1)).is_empty());
+        assert_eq!(mw.notifications().len(), 1);
+
+        let actuate = ReconfigurationCommand::new(
+            "emergency-response",
+            "hospital-engine",
+            legaliot_policy::Action::Actuate { component: "ann-sensor".into(), command: "sample-interval=1s".into() },
+            2,
+        );
+        let outcomes = mw.apply_command(&actuate, &snap(), Timestamp(2));
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_applied());
+        assert_eq!(mw.actuations(), &[("ann-sensor".to_string(), "sample-interval=1s".to_string())]);
+    }
+
+    #[test]
+    fn error_display_and_channel_listing() {
+        let mut mw = home_monitoring();
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        mw.teardown_channel("ann-sensor", "ann-analyser", Timestamp(2));
+        let channels = mw.channels();
+        assert_eq!(channels.len(), 1);
+        assert_eq!(channels[0].state, ChannelState::Closed);
+        assert!(!DeliveryOutcome::NoChannel.is_delivered());
+        assert!(MiddlewareError::UnknownComponent { name: "x".into() }
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Components and the component registry.
+//!
+//! A component is a 'thing' participating through the middleware: it has an owning
+//! principal, an IFC security context (mirroring the kernel-level context of the process
+//! it fronts, §8.2.2), privileges, the message types it produces and consumes, and the
+//! node it is hosted on. The [`Registry`] is the middleware's directory (the RDC in
+//! SBUS): components are registered, looked up by name, and marked isolated when policy
+//! demands.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use legaliot_ifc::{Entity, EntityKind, PrivilegeSet, SecurityContext};
+
+use crate::acl::Principal;
+use crate::schema::{MessageSchema, MessageType};
+
+/// A middleware-managed component ('thing').
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    entity: Entity,
+    principal: Principal,
+    node: String,
+    produces: Vec<MessageType>,
+    consumes: Vec<MessageType>,
+    isolated: bool,
+}
+
+impl Component {
+    /// Starts building a component.
+    pub fn builder(name: impl Into<String>, principal: Principal) -> ComponentBuilder {
+        ComponentBuilder {
+            name: name.into(),
+            principal,
+            context: SecurityContext::public(),
+            node: "local".to_string(),
+            produces: Vec::new(),
+            consumes: Vec::new(),
+        }
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &str {
+        self.entity.name()
+    }
+
+    /// The owning principal.
+    pub fn principal(&self) -> &Principal {
+        &self.principal
+    }
+
+    /// The node hosting the component.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The component's current security context.
+    pub fn context(&self) -> &SecurityContext {
+        self.entity.context()
+    }
+
+    /// The component's IFC privileges.
+    pub fn privileges(&self) -> &PrivilegeSet {
+        self.entity.privileges()
+    }
+
+    /// Mutable access to the underlying labelled entity (used by the middleware when
+    /// applying authorised reconfigurations and privilege grants).
+    pub fn entity_mut(&mut self) -> &mut Entity {
+        &mut self.entity
+    }
+
+    /// The underlying labelled entity.
+    pub fn entity(&self) -> &Entity {
+        &self.entity
+    }
+
+    /// Message types the component produces.
+    pub fn produces(&self) -> &[MessageType] {
+        &self.produces
+    }
+
+    /// Message types the component consumes.
+    pub fn consumes(&self) -> &[MessageType] {
+        &self.consumes
+    }
+
+    /// Whether the component has been isolated by policy (no channels allowed).
+    pub fn is_isolated(&self) -> bool {
+        self.isolated
+    }
+
+    /// Marks the component isolated or not (trusted middleware operation).
+    pub fn set_isolated(&mut self, isolated: bool) {
+        self.isolated = isolated;
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} ({})", self.name(), self.node, self.context())
+    }
+}
+
+/// Builder for [`Component`].
+#[derive(Debug, Clone)]
+pub struct ComponentBuilder {
+    name: String,
+    principal: Principal,
+    context: SecurityContext,
+    node: String,
+    produces: Vec<MessageType>,
+    consumes: Vec<MessageType>,
+}
+
+impl ComponentBuilder {
+    /// Sets the component's initial security context.
+    pub fn context(mut self, context: SecurityContext) -> Self {
+        self.context = context;
+        self
+    }
+
+    /// Sets the hosting node's name.
+    pub fn on_node(mut self, node: impl Into<String>) -> Self {
+        self.node = node.into();
+        self
+    }
+
+    /// Declares a produced message type.
+    pub fn produces(mut self, message_type: impl Into<MessageType>) -> Self {
+        self.produces.push(message_type.into());
+        self
+    }
+
+    /// Declares a consumed message type.
+    pub fn consumes(mut self, message_type: impl Into<MessageType>) -> Self {
+        self.consumes.push(message_type.into());
+        self
+    }
+
+    /// Finishes building the component.
+    pub fn build(self) -> Component {
+        Component {
+            entity: Entity::with_kind(self.name, EntityKind::Active, self.context),
+            principal: self.principal,
+            node: self.node,
+            produces: self.produces,
+            consumes: self.consumes,
+            isolated: false,
+        }
+    }
+}
+
+/// The middleware's component directory, plus registered message schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    components: BTreeMap<String, Component>,
+    schemas: BTreeMap<MessageType, MessageSchema>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component. Returns `false` (and leaves the registry unchanged) if a
+    /// component with the same name exists.
+    pub fn register(&mut self, component: Component) -> bool {
+        if self.components.contains_key(component.name()) {
+            return false;
+        }
+        self.components.insert(component.name().to_string(), component);
+        true
+    }
+
+    /// Removes a component by name.
+    pub fn deregister(&mut self, name: &str) -> Option<Component> {
+        self.components.remove(name)
+    }
+
+    /// Looks up a component.
+    pub fn get(&self, name: &str) -> Option<&Component> {
+        self.components.get(name)
+    }
+
+    /// Mutable lookup (middleware-internal).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Component> {
+        self.components.get_mut(name)
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates components in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Component> + '_ {
+        self.components.values()
+    }
+
+    /// Registers a message schema (replacing any previous schema for the type).
+    pub fn register_schema(&mut self, schema: MessageSchema) {
+        self.schemas.insert(schema.message_type.clone(), schema);
+    }
+
+    /// Looks up the schema for a message type.
+    pub fn schema(&self, message_type: &MessageType) -> Option<&MessageSchema> {
+        self.schemas.get(message_type)
+    }
+
+    /// Components that produce the given message type (service discovery).
+    pub fn producers_of<'a>(
+        &'a self,
+        message_type: &'a MessageType,
+    ) -> impl Iterator<Item = &'a Component> + 'a {
+        self.components
+            .values()
+            .filter(move |c| c.produces().contains(message_type))
+    }
+
+    /// Components that consume the given message type.
+    pub fn consumers_of<'a>(
+        &'a self,
+        message_type: &'a MessageType,
+    ) -> impl Iterator<Item = &'a Component> + 'a {
+        self.components
+            .values()
+            .filter(move |c| c.consumes().contains(message_type))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeKind;
+
+    fn ann_sensor() -> Component {
+        Component::builder("ann-sensor", Principal::new("ann").with_role("patient"))
+            .context(SecurityContext::from_names(["medical", "ann"], ["hosp-dev", "consent"]))
+            .on_node("ann-home-gateway")
+            .produces("sensor-reading")
+            .build()
+    }
+
+    fn ann_analyser() -> Component {
+        Component::builder("ann-analyser", Principal::new("hospital"))
+            .context(SecurityContext::from_names(["medical", "ann"], ["hosp-dev", "consent"]))
+            .on_node("hospital-cloud")
+            .consumes("sensor-reading")
+            .produces("analysis-report")
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = ann_sensor();
+        assert_eq!(c.name(), "ann-sensor");
+        assert_eq!(c.principal().name, "ann");
+        assert_eq!(c.node(), "ann-home-gateway");
+        assert!(c.context().secrecy().contains_name("medical"));
+        assert_eq!(c.produces(), &[MessageType::new("sensor-reading")]);
+        assert!(c.consumes().is_empty());
+        assert!(!c.is_isolated());
+        assert!(c.privileges().is_empty());
+        assert!(c.to_string().contains("ann-sensor"));
+    }
+
+    #[test]
+    fn registry_register_lookup_deregister() {
+        let mut reg = Registry::new();
+        assert!(reg.is_empty());
+        assert!(reg.register(ann_sensor()));
+        assert!(reg.register(ann_analyser()));
+        // Duplicate names rejected.
+        assert!(!reg.register(ann_sensor()));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("ann-sensor").is_some());
+        assert!(reg.get("missing").is_none());
+        assert!(reg.deregister("ann-sensor").is_some());
+        assert!(reg.deregister("ann-sensor").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn discovery_by_message_type() {
+        let mut reg = Registry::new();
+        reg.register(ann_sensor());
+        reg.register(ann_analyser());
+        let mt = MessageType::new("sensor-reading");
+        let producers: Vec<&str> = reg.producers_of(&mt).map(Component::name).collect();
+        let consumers: Vec<&str> = reg.consumers_of(&mt).map(Component::name).collect();
+        assert_eq!(producers, vec!["ann-sensor"]);
+        assert_eq!(consumers, vec!["ann-analyser"]);
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn schemas_registered_and_looked_up() {
+        let mut reg = Registry::new();
+        reg.register_schema(
+            MessageSchema::new("sensor-reading").attribute("value", AttributeKind::Float),
+        );
+        assert!(reg.schema(&MessageType::new("sensor-reading")).is_some());
+        assert!(reg.schema(&MessageType::new("unknown")).is_none());
+    }
+
+    #[test]
+    fn isolation_flag() {
+        let mut c = ann_sensor();
+        c.set_isolated(true);
+        assert!(c.is_isolated());
+        c.set_isolated(false);
+        assert!(!c.is_isolated());
+    }
+
+    #[test]
+    fn component_entity_mutation() {
+        let mut c = ann_sensor();
+        let new_ctx = SecurityContext::from_names(["medical", "ann", "stats"], Vec::<&str>::new());
+        c.entity_mut().set_context_trusted(new_ctx.clone());
+        assert_eq!(c.context(), &new_ctx);
+        assert_eq!(c.entity().label_changes(), 1);
+    }
+}

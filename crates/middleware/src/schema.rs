@@ -1,0 +1,299 @@
+//! Typed message schemas and messages with message-level IFC tags.
+//!
+//! "Messages are strongly typed, consisting of a set of named and typed attributes, and
+//! certain message types, or attributes thereof, can be more sensitive than others; e.g.
+//! for a message type `person`, attribute `name` is likely more sensitive than
+//! `country`" (§8.2.2). Message-level tags augment the component's security context
+//! (Fig. 10); enforcement "may entail source quenching, in that messages/attribute
+//! values are not transferred if the tags of each party do not accord".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use legaliot_ifc::{Label, SecurityContext};
+
+/// The name of a message type (e.g. `sensor-reading`, `actuation-command`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MessageType(String);
+
+impl MessageType {
+    /// Creates a message type name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MessageType(name.into())
+    }
+
+    /// The type's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MessageType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for MessageType {
+    fn from(value: &str) -> Self {
+        MessageType::new(value)
+    }
+}
+
+/// A typed attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeValue {
+    /// Text.
+    Text(String),
+    /// Integer.
+    Integer(i64),
+    /// Floating point.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl fmt::Display for AttributeValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeValue::Text(s) => write!(f, "{s}"),
+            AttributeValue::Integer(i) => write!(f, "{i}"),
+            AttributeValue::Float(x) => write!(f, "{x}"),
+            AttributeValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The kind of an attribute, for schema checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// Text attribute.
+    Text,
+    /// Integer attribute.
+    Integer,
+    /// Float attribute.
+    Float,
+    /// Boolean attribute.
+    Bool,
+}
+
+impl AttributeValue {
+    /// The kind of this value.
+    pub fn kind(&self) -> AttributeKind {
+        match self {
+            AttributeValue::Text(_) => AttributeKind::Text,
+            AttributeValue::Integer(_) => AttributeKind::Integer,
+            AttributeValue::Float(_) => AttributeKind::Float,
+            AttributeValue::Bool(_) => AttributeKind::Bool,
+        }
+    }
+}
+
+/// The schema of a message type: attribute names, kinds and per-attribute secrecy tags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageSchema {
+    /// The message type this schema describes.
+    pub message_type: MessageType,
+    /// Attribute name → kind.
+    pub attributes: BTreeMap<String, AttributeKind>,
+    /// Per-attribute additional secrecy tags (message-level tags; Fig. 10's tag `C`).
+    pub attribute_secrecy: BTreeMap<String, Label>,
+}
+
+impl MessageSchema {
+    /// Creates a schema for the given message type with no attributes.
+    pub fn new(message_type: impl Into<MessageType>) -> Self {
+        MessageSchema {
+            message_type: message_type.into(),
+            attributes: BTreeMap::new(),
+            attribute_secrecy: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an attribute of the given kind.
+    pub fn attribute(mut self, name: impl Into<String>, kind: AttributeKind) -> Self {
+        self.attributes.insert(name.into(), kind);
+        self
+    }
+
+    /// Adds an attribute with extra secrecy tags that only exist at the messaging level.
+    pub fn sensitive_attribute(
+        mut self,
+        name: impl Into<String>,
+        kind: AttributeKind,
+        secrecy: Label,
+    ) -> Self {
+        let name = name.into();
+        self.attributes.insert(name.clone(), kind);
+        self.attribute_secrecy.insert(name, secrecy);
+        self
+    }
+
+    /// Validates a message against this schema: every attribute present must be declared
+    /// with the right kind, and all declared attributes must be present.
+    pub fn validate(&self, message: &Message) -> Result<(), String> {
+        if message.message_type != self.message_type {
+            return Err(format!(
+                "message type `{}` does not match schema `{}`",
+                message.message_type, self.message_type
+            ));
+        }
+        for (name, kind) in &self.attributes {
+            match message.attributes.get(name) {
+                None => return Err(format!("missing attribute `{name}`")),
+                Some(v) if v.kind() != *kind => {
+                    return Err(format!("attribute `{name}` has the wrong type"))
+                }
+                Some(_) => {}
+            }
+        }
+        for name in message.attributes.keys() {
+            if !self.attributes.contains_key(name) {
+                return Err(format!("undeclared attribute `{name}`"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The extra secrecy label of an attribute, if any.
+    pub fn attribute_label(&self, name: &str) -> Option<&Label> {
+        self.attribute_secrecy.get(name)
+    }
+}
+
+/// A typed message: attributes plus the security context it carries end-to-end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// The message's type.
+    pub message_type: MessageType,
+    /// The attribute values.
+    pub attributes: BTreeMap<String, AttributeValue>,
+    /// The security context the data carries (normally the sender's context joined with
+    /// any message-level tags).
+    pub context: SecurityContext,
+    /// The sending component's name (filled in by the middleware).
+    pub sender: String,
+    /// Simulated send time (ms).
+    pub sent_at_millis: u64,
+}
+
+impl Message {
+    /// Creates a message of the given type with no attributes.
+    pub fn new(message_type: impl Into<MessageType>, context: SecurityContext) -> Self {
+        Message {
+            message_type: message_type.into(),
+            attributes: BTreeMap::new(),
+            context,
+            sender: String::new(),
+            sent_at_millis: 0,
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn with(mut self, name: impl Into<String>, value: AttributeValue) -> Self {
+        self.attributes.insert(name.into(), value);
+        self
+    }
+
+    /// Returns a copy of this message with the named attributes removed — the
+    /// *source-quenched* form delivered when some attributes' tags do not accord.
+    pub fn quenched(&self, removed: &[String]) -> Message {
+        let mut out = self.clone();
+        for name in removed {
+            out.attributes.remove(name);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} attrs) from {}", self.message_type, self.attributes.len(), self.sender)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading_schema() -> MessageSchema {
+        MessageSchema::new("sensor-reading")
+            .attribute("value", AttributeKind::Float)
+            .attribute("unit", AttributeKind::Text)
+            .sensitive_attribute(
+                "patient-name",
+                AttributeKind::Text,
+                Label::from_names(["identity"]),
+            )
+    }
+
+    fn reading_message() -> Message {
+        Message::new(
+            "sensor-reading",
+            SecurityContext::from_names(["medical"], Vec::<&str>::new()),
+        )
+        .with("value", AttributeValue::Float(72.0))
+        .with("unit", AttributeValue::Text("bpm".into()))
+        .with("patient-name", AttributeValue::Text("Ann".into()))
+    }
+
+    #[test]
+    fn schema_validation_accepts_conforming_messages() {
+        assert!(reading_schema().validate(&reading_message()).is_ok());
+    }
+
+    #[test]
+    fn schema_validation_rejects_missing_wrong_and_undeclared() {
+        let schema = reading_schema();
+        let missing = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", AttributeValue::Float(1.0))
+            .with("unit", AttributeValue::Text("bpm".into()));
+        assert!(schema.validate(&missing).unwrap_err().contains("missing"));
+
+        let wrong_type = reading_message().with("value", AttributeValue::Text("high".into()));
+        assert!(schema.validate(&wrong_type).unwrap_err().contains("wrong type"));
+
+        let undeclared = reading_message().with("extra", AttributeValue::Bool(true));
+        assert!(schema.validate(&undeclared).unwrap_err().contains("undeclared"));
+
+        let wrong_msg_type = Message::new("other", SecurityContext::public());
+        assert!(schema
+            .validate(&wrong_msg_type)
+            .unwrap_err()
+            .contains("does not match"));
+    }
+
+    #[test]
+    fn sensitive_attributes_carry_extra_labels() {
+        let schema = reading_schema();
+        assert_eq!(
+            schema.attribute_label("patient-name"),
+            Some(&Label::from_names(["identity"]))
+        );
+        assert!(schema.attribute_label("value").is_none());
+    }
+
+    #[test]
+    fn quenching_removes_attributes() {
+        let msg = reading_message();
+        let quenched = msg.quenched(&["patient-name".to_string()]);
+        assert_eq!(quenched.attributes.len(), 2);
+        assert!(!quenched.attributes.contains_key("patient-name"));
+        // Original untouched.
+        assert_eq!(msg.attributes.len(), 3);
+    }
+
+    #[test]
+    fn value_kinds_and_display() {
+        assert_eq!(AttributeValue::Text("x".into()).kind(), AttributeKind::Text);
+        assert_eq!(AttributeValue::Integer(1).kind(), AttributeKind::Integer);
+        assert_eq!(AttributeValue::Float(1.0).kind(), AttributeKind::Float);
+        assert_eq!(AttributeValue::Bool(true).kind(), AttributeKind::Bool);
+        assert_eq!(AttributeValue::Bool(true).to_string(), "true");
+        assert_eq!(MessageType::new("t").to_string(), "t");
+        assert!(reading_message().to_string().contains("sensor-reading"));
+    }
+}

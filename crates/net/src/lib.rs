@@ -1,0 +1,21 @@
+//! # legaliot-net
+//!
+//! A deterministic, simulated distributed-systems substrate for the reproduction: nodes
+//! grouped into administrative domains, links with latency and reachability, gateways
+//! fronting subsystems (§2.1 of Singh et al., Middleware 2016), and in-order message
+//! delivery driven by a simulated clock.
+//!
+//! The paper's cross-machine enforcement (Fig. 9) happens at *channel establishment* on
+//! top of a messaging substrate; the substrate itself only needs to deliver bytes
+//! between named endpoints with controllable topology and failures. That is what this
+//! crate provides — real sockets would add nondeterminism without exercising any
+//! additional logic from the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+
+pub use sim::{
+    AdminDomain, Delivery, Link, NetError, Network, NodeId, NodeInfo, NodeKind, Wire,
+};

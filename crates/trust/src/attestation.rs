@@ -1,0 +1,316 @@
+//! Simulated hardware roots of trust and remote attestation.
+//!
+//! §4 surveys TPM, Intel SGX and ARM TrustZone, and §9.2 Concern 4 notes that hardware
+//! support can "certify the physical (GPS) location of machines" or "guarantee sensor
+//! accuracy or other physical properties". §9.3 Challenge 5 relies on remote attestation
+//! to establish trust before interacting with components "never before seen".
+//!
+//! A [`HardwareRoot`] holds a device key and produces [`AttestationQuote`]s over a set
+//! of [`PlatformClaim`]s (measured software, location, enforcement capability). A
+//! verifier checks a quote against the root's registered key and its own freshness and
+//! claim requirements.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A claim about the attested platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformClaim {
+    /// The platform runs the named, measured software stack (e.g. `camflow-lsm v0.9`).
+    MeasuredSoftware {
+        /// The software identity string.
+        identity: String,
+    },
+    /// The platform enforces IFC at the kernel level.
+    IfcEnforcementPresent,
+    /// The platform is physically located at the given coordinates (geo-fencing, [44]).
+    Location {
+        /// Latitude in degrees.
+        latitude: f64,
+        /// Longitude in degrees.
+        longitude: f64,
+    },
+    /// The platform's sensors are calibrated to the given accuracy class.
+    SensorAccuracy {
+        /// Accuracy class label, e.g. `clinical-grade`.
+        class: String,
+    },
+    /// A free-form claim.
+    Custom {
+        /// Claim key.
+        key: String,
+        /// Claim value.
+        value: String,
+    },
+}
+
+impl fmt::Display for PlatformClaim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformClaim::MeasuredSoftware { identity } => write!(f, "software={identity}"),
+            PlatformClaim::IfcEnforcementPresent => write!(f, "ifc-enforcement=present"),
+            PlatformClaim::Location { latitude, longitude } => {
+                write!(f, "location=({latitude},{longitude})")
+            }
+            PlatformClaim::SensorAccuracy { class } => write!(f, "sensor-accuracy={class}"),
+            PlatformClaim::Custom { key, value } => write!(f, "{key}={value}"),
+        }
+    }
+}
+
+/// The verifier's verdict on a quote.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttestationVerdict {
+    /// The quote verifies and satisfies the verifier's requirements.
+    Trusted,
+    /// The quote's signature does not verify against the registered root key.
+    BadSignature,
+    /// The quote is older than the verifier's freshness window.
+    Stale,
+    /// A required claim is missing from the quote.
+    MissingClaim {
+        /// Display form of the missing claim requirement.
+        requirement: String,
+    },
+}
+
+impl AttestationVerdict {
+    /// Whether the platform should be trusted.
+    pub fn is_trusted(&self) -> bool {
+        matches!(self, AttestationVerdict::Trusted)
+    }
+}
+
+impl fmt::Display for AttestationVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttestationVerdict::Trusted => write!(f, "trusted"),
+            AttestationVerdict::BadSignature => write!(f, "bad signature"),
+            AttestationVerdict::Stale => write!(f, "stale quote"),
+            AttestationVerdict::MissingClaim { requirement } => {
+                write!(f, "missing claim: {requirement}")
+            }
+        }
+    }
+}
+
+/// A quote produced by a hardware root: a set of claims, a timestamp, and a signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttestationQuote {
+    /// The name of the platform attested (e.g. the node or component name).
+    pub platform: String,
+    /// The claims made.
+    pub claims: Vec<PlatformClaim>,
+    /// Simulated time at which the quote was produced.
+    pub produced_at_millis: u64,
+    /// Signature over platform, claims and timestamp.
+    pub signature: u64,
+}
+
+/// A simulated hardware root of trust (TPM / SGX / TrustZone equivalent) for a platform.
+#[derive(Debug, Clone)]
+pub struct HardwareRoot {
+    platform: String,
+    device_secret: u64,
+}
+
+impl HardwareRoot {
+    /// Provisions a hardware root for the named platform.
+    pub fn provision<R: Rng + ?Sized>(platform: impl Into<String>, rng: &mut R) -> Self {
+        HardwareRoot {
+            platform: platform.into(),
+            device_secret: rng.gen(),
+        }
+    }
+
+    /// The platform name.
+    pub fn platform(&self) -> &str {
+        &self.platform
+    }
+
+    /// The public identity a verifier registers (the simulated endorsement key).
+    pub fn endorsement_key(&self) -> u64 {
+        // Derived from the secret so registration does not expose the secret itself.
+        let mut h = DefaultHasher::new();
+        self.device_secret.hash(&mut h);
+        "endorsement".hash(&mut h);
+        h.finish()
+    }
+
+    fn sign(&self, platform: &str, claims: &[PlatformClaim], at_millis: u64) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.device_secret.hash(&mut h);
+        platform.hash(&mut h);
+        format!("{claims:?}").hash(&mut h);
+        at_millis.hash(&mut h);
+        h.finish()
+    }
+
+    /// Produces a quote over the given claims at simulated time `now_millis`.
+    pub fn quote(&self, claims: Vec<PlatformClaim>, now_millis: u64) -> AttestationQuote {
+        let signature = self.sign(&self.platform, &claims, now_millis);
+        AttestationQuote {
+            platform: self.platform.clone(),
+            claims,
+            produced_at_millis: now_millis,
+            signature,
+        }
+    }
+
+    /// Verifies a quote allegedly produced by this root (the verifier holds the root's
+    /// registration; in real hardware this is the endorsement-key check).
+    ///
+    /// `max_age_millis` bounds freshness; `required` lists claims that must be present
+    /// (matched exactly except for `Location`, which matches any location claim).
+    pub fn verify(
+        &self,
+        quote: &AttestationQuote,
+        now_millis: u64,
+        max_age_millis: u64,
+        required: &[PlatformClaim],
+    ) -> AttestationVerdict {
+        let expected = self.sign(&quote.platform, &quote.claims, quote.produced_at_millis);
+        if expected != quote.signature || quote.platform != self.platform {
+            return AttestationVerdict::BadSignature;
+        }
+        if now_millis.saturating_sub(quote.produced_at_millis) > max_age_millis {
+            return AttestationVerdict::Stale;
+        }
+        for req in required {
+            let satisfied = quote.claims.iter().any(|c| match (req, c) {
+                (PlatformClaim::Location { .. }, PlatformClaim::Location { .. }) => true,
+                (a, b) => a == b,
+            });
+            if !satisfied {
+                return AttestationVerdict::MissingClaim {
+                    requirement: req.to_string(),
+                };
+            }
+        }
+        AttestationVerdict::Trusted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn root() -> HardwareRoot {
+        let mut rng = StdRng::seed_from_u64(7);
+        HardwareRoot::provision("cloud-node-1", &mut rng)
+    }
+
+    fn standard_claims() -> Vec<PlatformClaim> {
+        vec![
+            PlatformClaim::MeasuredSoftware { identity: "camflow-lsm v0.9".into() },
+            PlatformClaim::IfcEnforcementPresent,
+            PlatformClaim::Location { latitude: 52.2, longitude: 0.1 },
+        ]
+    }
+
+    #[test]
+    fn quote_verifies_with_required_claims() {
+        let root = root();
+        let quote = root.quote(standard_claims(), 1_000);
+        let verdict = root.verify(
+            &quote,
+            1_500,
+            10_000,
+            &[PlatformClaim::IfcEnforcementPresent],
+        );
+        assert!(verdict.is_trusted());
+        assert_eq!(quote.platform, "cloud-node-1");
+        assert_eq!(root.platform(), "cloud-node-1");
+    }
+
+    #[test]
+    fn tampered_quote_fails() {
+        let root = root();
+        let mut quote = root.quote(standard_claims(), 1_000);
+        quote.claims.push(PlatformClaim::Custom { key: "extra".into(), value: "claim".into() });
+        assert_eq!(
+            root.verify(&quote, 1_500, 10_000, &[]),
+            AttestationVerdict::BadSignature
+        );
+    }
+
+    #[test]
+    fn quote_from_other_platform_fails() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let other = HardwareRoot::provision("rogue-node", &mut rng);
+        let quote = other.quote(standard_claims(), 1_000);
+        assert_eq!(
+            root().verify(&quote, 1_500, 10_000, &[]),
+            AttestationVerdict::BadSignature
+        );
+    }
+
+    #[test]
+    fn stale_quotes_rejected() {
+        let root = root();
+        let quote = root.quote(standard_claims(), 1_000);
+        assert_eq!(
+            root.verify(&quote, 100_000, 10_000, &[]),
+            AttestationVerdict::Stale
+        );
+    }
+
+    #[test]
+    fn missing_required_claim_rejected() {
+        let root = root();
+        let quote = root.quote(
+            vec![PlatformClaim::MeasuredSoftware { identity: "stack".into() }],
+            0,
+        );
+        let verdict = root.verify(&quote, 0, 10, &[PlatformClaim::IfcEnforcementPresent]);
+        match &verdict {
+            AttestationVerdict::MissingClaim { requirement } => {
+                assert!(requirement.contains("ifc-enforcement"));
+            }
+            other => panic!("expected missing claim, got {other:?}"),
+        }
+        assert!(!verdict.is_trusted());
+    }
+
+    #[test]
+    fn location_requirement_matches_any_location_claim() {
+        let root = root();
+        let quote = root.quote(standard_claims(), 0);
+        let verdict = root.verify(
+            &quote,
+            0,
+            10,
+            &[PlatformClaim::Location { latitude: 0.0, longitude: 0.0 }],
+        );
+        assert!(verdict.is_trusted());
+    }
+
+    #[test]
+    fn endorsement_key_is_stable_and_not_the_secret() {
+        let root = root();
+        assert_eq!(root.endorsement_key(), root.endorsement_key());
+        let mut rng = StdRng::seed_from_u64(8);
+        let other = HardwareRoot::provision("cloud-node-1", &mut rng);
+        assert_ne!(root.endorsement_key(), other.endorsement_key());
+    }
+
+    #[test]
+    fn claim_and_verdict_display() {
+        assert!(PlatformClaim::IfcEnforcementPresent.to_string().contains("present"));
+        assert!(PlatformClaim::SensorAccuracy { class: "clinical".into() }
+            .to_string()
+            .contains("clinical"));
+        assert!(PlatformClaim::Custom { key: "k".into(), value: "v".into() }
+            .to_string()
+            .contains("k=v"));
+        assert_eq!(AttestationVerdict::Trusted.to_string(), "trusted");
+        assert_eq!(AttestationVerdict::Stale.to_string(), "stale quote");
+        assert_eq!(AttestationVerdict::BadSignature.to_string(), "bad signature");
+    }
+}

@@ -1,0 +1,505 @@
+//! Simulated public-key infrastructure: key pairs, identity and attribute certificates,
+//! a certificate authority, revocation, and a web-of-trust alternative.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by the trust layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrustError {
+    /// The certificate's signature does not verify against the issuer's key.
+    BadSignature,
+    /// The certificate has been revoked.
+    Revoked,
+    /// The certificate has expired (simulated time).
+    Expired,
+    /// The issuer is not trusted by the verifier.
+    UntrustedIssuer {
+        /// The issuer's name.
+        issuer: String,
+    },
+    /// The named subject does not match the presented key.
+    SubjectMismatch,
+}
+
+impl fmt::Display for TrustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustError::BadSignature => write!(f, "certificate signature does not verify"),
+            TrustError::Revoked => write!(f, "certificate has been revoked"),
+            TrustError::Expired => write!(f, "certificate has expired"),
+            TrustError::UntrustedIssuer { issuer } => {
+                write!(f, "issuer `{issuer}` is not trusted by the verifier")
+            }
+            TrustError::SubjectMismatch => write!(f, "certificate subject does not match the key"),
+        }
+    }
+}
+
+impl std::error::Error for TrustError {}
+
+/// A simulated key pair. The "public key" is a random 64-bit identifier; the "private
+/// key" is a second random value used to produce keyed-hash signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    /// The public half, shared freely.
+    pub public: u64,
+    private: u64,
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair using the supplied RNG.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        KeyPair {
+            public: rng.gen(),
+            private: rng.gen(),
+        }
+    }
+
+    /// Signs a byte string, producing a simulated signature.
+    pub fn sign(&self, message: &[u8]) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.private.hash(&mut h);
+        message.hash(&mut h);
+        h.finish()
+    }
+
+    /// Verifies a signature over `message` allegedly made by the holder of `public`.
+    ///
+    /// In the simulation verification requires the key pair (we model the maths, not the
+    /// asymmetry); verifiers therefore go through [`CertificateAuthority::verify`] or
+    /// [`WebOfTrust`], which hold the issuer key pairs.
+    pub fn verify(&self, message: &[u8], signature: u64) -> bool {
+        self.sign(message) == signature
+    }
+}
+
+/// An identity certificate binding a subject name to a public key, signed by an issuer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The subject (a 'thing', a person, an organisation).
+    pub subject: String,
+    /// The subject's public key.
+    pub subject_public: u64,
+    /// The issuing authority's name.
+    pub issuer: String,
+    /// Expiry in simulated milliseconds (`u64::MAX` = never).
+    pub expires_at_millis: u64,
+    /// The issuer's signature over (subject, key, expiry).
+    pub signature: u64,
+}
+
+impl Certificate {
+    fn signing_bytes(subject: &str, subject_public: u64, issuer: &str, expires: u64) -> Vec<u8> {
+        format!("{subject}|{subject_public}|{issuer}|{expires}").into_bytes()
+    }
+}
+
+/// An attribute certificate binding an attribute (role, privilege, context claim) to a
+/// subject, as SBUS does for privileges and credentials (§8.1, footnote 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeCertificate {
+    /// The subject the attribute is asserted about.
+    pub subject: String,
+    /// The attribute, e.g. `role=nurse`, `privilege=secrecy-remove(medical)`.
+    pub attribute: String,
+    /// The issuing authority.
+    pub issuer: String,
+    /// Expiry in simulated milliseconds.
+    pub expires_at_millis: u64,
+    /// The issuer's signature.
+    pub signature: u64,
+}
+
+impl AttributeCertificate {
+    fn signing_bytes(subject: &str, attribute: &str, issuer: &str, expires: u64) -> Vec<u8> {
+        format!("{subject}|{attribute}|{issuer}|{expires}").into_bytes()
+    }
+}
+
+/// The outcome of verifying a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerificationOutcome {
+    /// The certificate verified.
+    Valid,
+    /// The certificate failed verification.
+    Invalid(TrustError),
+}
+
+impl VerificationOutcome {
+    /// Whether the certificate verified.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, VerificationOutcome::Valid)
+    }
+}
+
+/// A revocation list maintained by an authority.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevocationList {
+    revoked_subjects: BTreeSet<String>,
+}
+
+impl RevocationList {
+    /// Creates an empty revocation list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Revokes every certificate issued to `subject`.
+    pub fn revoke(&mut self, subject: impl Into<String>) {
+        self.revoked_subjects.insert(subject.into());
+    }
+
+    /// Whether the subject's certificates are revoked.
+    pub fn is_revoked(&self, subject: &str) -> bool {
+        self.revoked_subjects.contains(subject)
+    }
+
+    /// Number of revoked subjects.
+    pub fn len(&self) -> usize {
+        self.revoked_subjects.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.revoked_subjects.is_empty()
+    }
+}
+
+/// A certificate authority: issues identity and attribute certificates and verifies
+/// them, maintaining a revocation list.
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    name: String,
+    keys: KeyPair,
+    revocations: RevocationList,
+    issued: BTreeMap<String, u64>,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with a fresh key pair.
+    pub fn new<R: Rng + ?Sized>(name: impl Into<String>, rng: &mut R) -> Self {
+        CertificateAuthority {
+            name: name.into(),
+            keys: KeyPair::generate(rng),
+            revocations: RevocationList::new(),
+            issued: BTreeMap::new(),
+        }
+    }
+
+    /// The CA's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issues an identity certificate for `subject` holding `subject_public`.
+    pub fn issue(
+        &mut self,
+        subject: impl Into<String>,
+        subject_public: u64,
+        expires_at_millis: u64,
+    ) -> Certificate {
+        let subject = subject.into();
+        let signature = self.keys.sign(&Certificate::signing_bytes(
+            &subject,
+            subject_public,
+            &self.name,
+            expires_at_millis,
+        ));
+        self.issued.insert(subject.clone(), subject_public);
+        Certificate {
+            subject,
+            subject_public,
+            issuer: self.name.clone(),
+            expires_at_millis,
+            signature,
+        }
+    }
+
+    /// Issues an attribute certificate asserting `attribute` about `subject`.
+    pub fn issue_attribute(
+        &mut self,
+        subject: impl Into<String>,
+        attribute: impl Into<String>,
+        expires_at_millis: u64,
+    ) -> AttributeCertificate {
+        let subject = subject.into();
+        let attribute = attribute.into();
+        let signature = self.keys.sign(&AttributeCertificate::signing_bytes(
+            &subject,
+            &attribute,
+            &self.name,
+            expires_at_millis,
+        ));
+        AttributeCertificate {
+            subject,
+            attribute,
+            issuer: self.name.clone(),
+            expires_at_millis,
+            signature,
+        }
+    }
+
+    /// Revokes every certificate issued to `subject`.
+    pub fn revoke(&mut self, subject: impl Into<String>) {
+        self.revocations.revoke(subject);
+    }
+
+    /// The CA's revocation list.
+    pub fn revocations(&self) -> &RevocationList {
+        &self.revocations
+    }
+
+    /// Verifies an identity certificate at simulated time `now_millis`.
+    pub fn verify(&self, cert: &Certificate, now_millis: u64) -> VerificationOutcome {
+        if cert.issuer != self.name {
+            return VerificationOutcome::Invalid(TrustError::UntrustedIssuer {
+                issuer: cert.issuer.clone(),
+            });
+        }
+        if self.revocations.is_revoked(&cert.subject) {
+            return VerificationOutcome::Invalid(TrustError::Revoked);
+        }
+        if now_millis >= cert.expires_at_millis {
+            return VerificationOutcome::Invalid(TrustError::Expired);
+        }
+        let expected = Certificate::signing_bytes(
+            &cert.subject,
+            cert.subject_public,
+            &cert.issuer,
+            cert.expires_at_millis,
+        );
+        if !self.keys.verify(&expected, cert.signature) {
+            return VerificationOutcome::Invalid(TrustError::BadSignature);
+        }
+        VerificationOutcome::Valid
+    }
+
+    /// Verifies an attribute certificate at simulated time `now_millis`.
+    pub fn verify_attribute(
+        &self,
+        cert: &AttributeCertificate,
+        now_millis: u64,
+    ) -> VerificationOutcome {
+        if cert.issuer != self.name {
+            return VerificationOutcome::Invalid(TrustError::UntrustedIssuer {
+                issuer: cert.issuer.clone(),
+            });
+        }
+        if self.revocations.is_revoked(&cert.subject) {
+            return VerificationOutcome::Invalid(TrustError::Revoked);
+        }
+        if now_millis >= cert.expires_at_millis {
+            return VerificationOutcome::Invalid(TrustError::Expired);
+        }
+        let expected = AttributeCertificate::signing_bytes(
+            &cert.subject,
+            &cert.attribute,
+            &cert.issuer,
+            cert.expires_at_millis,
+        );
+        if !self.keys.verify(&expected, cert.signature) {
+            return VerificationOutcome::Invalid(TrustError::BadSignature);
+        }
+        VerificationOutcome::Valid
+    }
+}
+
+/// A decentralised web-of-trust: principals endorse each other's keys directly, and a
+/// verifier accepts a binding if a trust path of bounded length exists from someone it
+/// trusts (§4: "Decentralised trust models (a web-of-trust) are also possible").
+#[derive(Debug, Clone, Default)]
+pub struct WebOfTrust {
+    /// endorser -> set of (subject, subject_public) bindings they vouch for.
+    endorsements: BTreeMap<String, BTreeSet<(String, u64)>>,
+}
+
+impl WebOfTrust {
+    /// Creates an empty web of trust.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `endorser` vouches for `subject` holding `subject_public`.
+    pub fn endorse(
+        &mut self,
+        endorser: impl Into<String>,
+        subject: impl Into<String>,
+        subject_public: u64,
+    ) {
+        self.endorsements
+            .entry(endorser.into())
+            .or_default()
+            .insert((subject.into(), subject_public));
+    }
+
+    /// Whether a verifier that directly trusts `trusted_roots` should accept the binding
+    /// `subject ↔ subject_public`, following endorsement chains up to `max_hops`.
+    pub fn accepts(
+        &self,
+        trusted_roots: &[&str],
+        subject: &str,
+        subject_public: u64,
+        max_hops: usize,
+    ) -> bool {
+        let mut frontier: BTreeSet<String> =
+            trusted_roots.iter().map(|s| s.to_string()).collect();
+        for _ in 0..max_hops {
+            let mut next = BTreeSet::new();
+            for endorser in &frontier {
+                if let Some(bindings) = self.endorsements.get(endorser) {
+                    for (s, k) in bindings {
+                        if s == subject && *k == subject_public {
+                            return true;
+                        }
+                        next.insert(s.clone());
+                    }
+                }
+            }
+            if next.is_subset(&frontier) {
+                break;
+            }
+            frontier.extend(next);
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sign_and_verify_round_trip() {
+        let mut r = rng();
+        let k = KeyPair::generate(&mut r);
+        let sig = k.sign(b"hello");
+        assert!(k.verify(b"hello", sig));
+        assert!(!k.verify(b"tampered", sig));
+        let other = KeyPair::generate(&mut r);
+        assert!(!other.verify(b"hello", sig));
+    }
+
+    #[test]
+    fn ca_issues_and_verifies_identity_certificates() {
+        let mut r = rng();
+        let mut ca = CertificateAuthority::new("hospital-ca", &mut r);
+        let device_key = KeyPair::generate(&mut r);
+        let cert = ca.issue("ann-sensor", device_key.public, 10_000);
+        assert_eq!(ca.name(), "hospital-ca");
+        assert!(ca.verify(&cert, 5_000).is_valid());
+    }
+
+    #[test]
+    fn expired_and_revoked_certificates_rejected() {
+        let mut r = rng();
+        let mut ca = CertificateAuthority::new("ca", &mut r);
+        let key = KeyPair::generate(&mut r);
+        let cert = ca.issue("thing", key.public, 1_000);
+        assert_eq!(
+            ca.verify(&cert, 1_000),
+            VerificationOutcome::Invalid(TrustError::Expired)
+        );
+        let cert2 = ca.issue("rogue", key.public, u64::MAX);
+        ca.revoke("rogue");
+        assert_eq!(
+            ca.verify(&cert2, 0),
+            VerificationOutcome::Invalid(TrustError::Revoked)
+        );
+        assert!(ca.revocations().is_revoked("rogue"));
+        assert_eq!(ca.revocations().len(), 1);
+        assert!(!ca.revocations().is_empty());
+    }
+
+    #[test]
+    fn tampered_certificates_fail_signature_check() {
+        let mut r = rng();
+        let mut ca = CertificateAuthority::new("ca", &mut r);
+        let key = KeyPair::generate(&mut r);
+        let mut cert = ca.issue("thing", key.public, u64::MAX);
+        cert.subject = "impostor".into();
+        assert_eq!(
+            ca.verify(&cert, 0),
+            VerificationOutcome::Invalid(TrustError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn certificates_from_other_issuers_are_untrusted() {
+        let mut r = rng();
+        let mut ca1 = CertificateAuthority::new("ca-1", &mut r);
+        let ca2 = CertificateAuthority::new("ca-2", &mut r);
+        let key = KeyPair::generate(&mut r);
+        let cert = ca1.issue("thing", key.public, u64::MAX);
+        match ca2.verify(&cert, 0) {
+            VerificationOutcome::Invalid(TrustError::UntrustedIssuer { issuer }) => {
+                assert_eq!(issuer, "ca-1");
+            }
+            other => panic!("expected untrusted issuer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_certificates_carry_privileges() {
+        let mut r = rng();
+        let mut ca = CertificateAuthority::new("hospital-ca", &mut r);
+        let cert = ca.issue_attribute("sanitiser", "privilege=integrity+(hosp-dev)", 10_000);
+        assert!(ca.verify_attribute(&cert, 5_000).is_valid());
+        assert_eq!(
+            ca.verify_attribute(&cert, 20_000),
+            VerificationOutcome::Invalid(TrustError::Expired)
+        );
+        let mut tampered = cert.clone();
+        tampered.attribute = "privilege=secrecy-(everything)".into();
+        assert_eq!(
+            ca.verify_attribute(&tampered, 0),
+            VerificationOutcome::Invalid(TrustError::BadSignature)
+        );
+        ca.revoke("sanitiser");
+        assert_eq!(
+            ca.verify_attribute(&cert, 5_000),
+            VerificationOutcome::Invalid(TrustError::Revoked)
+        );
+    }
+
+    #[test]
+    fn web_of_trust_paths() {
+        let mut r = rng();
+        let ann_key = KeyPair::generate(&mut r).public;
+        let mut wot = WebOfTrust::new();
+        // alice endorses bob's key registry, bob endorses ann's device.
+        wot.endorse("alice", "bob", 1);
+        wot.endorse("bob", "ann-device", ann_key);
+        assert!(wot.accepts(&["alice"], "ann-device", ann_key, 3));
+        // Direct trust in bob also works with a single hop.
+        assert!(wot.accepts(&["bob"], "ann-device", ann_key, 1));
+        // Too few hops: not reachable.
+        assert!(!wot.accepts(&["alice"], "ann-device", ann_key, 1));
+        // Wrong key: rejected.
+        assert!(!wot.accepts(&["alice"], "ann-device", ann_key ^ 1, 5));
+        // Unknown root: rejected.
+        assert!(!wot.accepts(&["mallory"], "ann-device", ann_key, 5));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TrustError::BadSignature.to_string().contains("signature"));
+        assert!(TrustError::Revoked.to_string().contains("revoked"));
+        assert!(TrustError::Expired.to_string().contains("expired"));
+        assert!(TrustError::SubjectMismatch.to_string().contains("subject"));
+        assert!(TrustError::UntrustedIssuer { issuer: "x".into() }
+            .to_string()
+            .contains("x"));
+    }
+}
