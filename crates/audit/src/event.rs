@@ -266,11 +266,7 @@ mod tests {
 
     fn sample_flow_event(denied: bool) -> AuditEvent {
         let src = SecurityContext::from_names(["medical"], Vec::<&str>::new());
-        let dst = if denied {
-            SecurityContext::public()
-        } else {
-            src.clone()
-        };
+        let dst = if denied { SecurityContext::public() } else { src.clone() };
         AuditEvent::FlowChecked {
             source: "sensor".into(),
             destination: "analyser".into(),
@@ -306,12 +302,8 @@ mod tests {
     fn denied_flow_detection() {
         assert!(!sample_flow_event(false).is_denied_flow());
         assert!(sample_flow_event(true).is_denied_flow());
-        assert!(!AuditEvent::PolicyFired {
-            policy: "p".into(),
-            trigger: "t".into(),
-            actions: 0
-        }
-        .is_denied_flow());
+        assert!(!AuditEvent::PolicyFired { policy: "p".into(), trigger: "t".into(), actions: 0 }
+            .is_denied_flow());
     }
 
     #[test]

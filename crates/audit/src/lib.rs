@@ -27,6 +27,4 @@ pub mod provenance;
 
 pub use event::{AuditEvent, AuditEventKind, AuditRecord, RecordId};
 pub use log::{AuditLog, ChainVerification, PruneOutcome};
-pub use provenance::{
-    NodeId, NodeKind, ProvenanceEdge, ProvenanceGraph, ProvenanceNode, Relation,
-};
+pub use provenance::{NodeId, NodeKind, ProvenanceEdge, ProvenanceGraph, ProvenanceNode, Relation};

@@ -89,12 +89,7 @@ pub struct AuditLog {
 impl AuditLog {
     /// Creates an empty log recorded by the given authority.
     pub fn new(authority: impl Into<String>) -> Self {
-        AuditLog {
-            authority: authority.into(),
-            records: Vec::new(),
-            anchor_hash: 0,
-            next_id: 0,
-        }
+        AuditLog { authority: authority.into(), records: Vec::new(), anchor_hash: 0, next_id: 0 }
     }
 
     /// The recording authority's name.
@@ -104,11 +99,7 @@ impl AuditLog {
 
     /// Appends an event at the given simulated time, returning the new record's id.
     pub fn record(&mut self, event: AuditEvent, at_millis: u64) -> RecordId {
-        let previous_hash = self
-            .records
-            .last()
-            .map(|r| r.hash)
-            .unwrap_or(self.anchor_hash);
+        let previous_hash = self.records.last().map(|r| r.hash).unwrap_or(self.anchor_hash);
         let id = RecordId(self.next_id);
         self.next_id += 1;
         let hash = Self::hash_record(id, at_millis, &self.authority, &event, previous_hash);
@@ -163,9 +154,7 @@ impl AuditLog {
 
     /// Records mentioning the given entity name.
     pub fn involving<'a>(&'a self, entity: &'a str) -> impl Iterator<Item = &'a AuditRecord> + 'a {
-        self.records
-            .iter()
-            .filter(move |r| r.event.entities().contains(&entity))
+        self.records.iter().filter(move |r| r.event.entities().contains(&entity))
     }
 
     /// Records of denied flows — the first thing an investigator looks at.
@@ -180,21 +169,14 @@ impl AuditLog {
             if r.previous_hash != expected_prev {
                 return ChainVerification::Broken { at: r.id };
             }
-            let recomputed = Self::hash_record(
-                r.id,
-                r.at_millis,
-                &r.recorded_by,
-                &r.event,
-                r.previous_hash,
-            );
+            let recomputed =
+                Self::hash_record(r.id, r.at_millis, &r.recorded_by, &r.event, r.previous_hash);
             if recomputed != r.hash {
                 return ChainVerification::Broken { at: r.id };
             }
             expected_prev = r.hash;
         }
-        ChainVerification::Intact {
-            records: self.records.len(),
-        }
+        ChainVerification::Intact { records: self.records.len() }
     }
 
     /// Prunes all records recorded strictly before `before_millis`, keeping the chain
@@ -236,10 +218,8 @@ impl AuditLog {
     /// timestamp (then by recording authority for determinism). The merged view is used
     /// by system-wide compliance checking; per-node chains remain the tamper evidence.
     pub fn merged_timeline<'a>(logs: impl IntoIterator<Item = &'a AuditLog>) -> Vec<AuditRecord> {
-        let mut all: Vec<AuditRecord> = logs
-            .into_iter()
-            .flat_map(|l| l.records.iter().cloned())
-            .collect();
+        let mut all: Vec<AuditRecord> =
+            logs.into_iter().flat_map(|l| l.records.iter().cloned()).collect();
         all.sort_by(|a, b| {
             a.at_millis
                 .cmp(&b.at_millis)
@@ -258,11 +238,7 @@ mod tests {
 
     fn flow_event(src: &str, dst: &str, denied: bool) -> AuditEvent {
         let s = SecurityContext::from_names(["medical"], Vec::<&str>::new());
-        let d = if denied {
-            SecurityContext::public()
-        } else {
-            s.clone()
-        };
+        let d = if denied { SecurityContext::public() } else { s.clone() };
         AuditEvent::FlowChecked {
             source: src.into(),
             destination: dst.into(),
@@ -343,10 +319,7 @@ mod tests {
         log.record(flow_event("s", "d", false), 10);
         assert!(log.verify_chain().is_intact());
         // The retained log's first record chains from the offloaded history.
-        assert_eq!(
-            log.records()[0].previous_hash,
-            offloaded.records().last().unwrap().hash
-        );
+        assert_eq!(log.records()[0].previous_hash, offloaded.records().last().unwrap().hash);
     }
 
     #[test]
@@ -385,10 +358,7 @@ mod tests {
     fn empty_log_verifies() {
         let log = AuditLog::new("n");
         assert!(log.verify_chain().is_intact());
-        assert_eq!(
-            log.verify_chain(),
-            ChainVerification::Intact { records: 0 }
-        );
+        assert_eq!(log.verify_chain(), ChainVerification::Intact { records: 0 });
     }
 
     proptest! {

@@ -19,9 +19,7 @@ use legaliot_ifc::{can_flow, SecurityContext};
 use legaliot_iot::{Chain, Thing, ThingKind};
 use legaliot_kernel::{EnforcementMode, ObjectKind, Os};
 use legaliot_middleware::{ControlMessage, Message, ReconfigureOp};
-use legaliot_policy::{
-    Action, Condition, PolicyEngine, PolicyEvent, PolicyRule,
-};
+use legaliot_policy::{Action, Condition, PolicyEngine, PolicyEvent, PolicyRule};
 
 fn quick(c: &mut Criterion) -> &mut Criterion {
     c
@@ -188,11 +186,9 @@ fn bench_provenance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("taint", items), &items, |bencher, _| {
             bencher.iter(|| g.taint("d0"))
         });
-        group.bench_with_input(
-            BenchmarkId::new("ancestry", items),
-            &items,
-            |bencher, _| bencher.iter(|| g.ancestry(&format!("d{}", items - 1))),
-        );
+        group.bench_with_input(BenchmarkId::new("ancestry", items), &items, |bencher, _| {
+            bencher.iter(|| g.ancestry(&format!("d{}", items - 1)))
+        });
     }
     group.finish();
 }
@@ -209,7 +205,13 @@ fn bench_chain_length(c: &mut Criterion) {
                     let ctx = SecurityContext::from_names(["pipeline"], Vec::<&str>::new());
                     for stage in &chain.stages {
                         deployment.add_thing(
-                            &Thing::new(stage.clone(), ThingKind::CloudService, "op", "node", ctx.clone()),
+                            &Thing::new(
+                                stage.clone(),
+                                ThingKind::CloudService,
+                                "op",
+                                "node",
+                                ctx.clone(),
+                            ),
                             "eu",
                         );
                     }
@@ -309,7 +311,9 @@ fn bench_compliance(c: &mut Criterion) {
     });
     let checker = ComplianceChecker::new(regulation);
     group.bench_function("liability_report", |bencher| {
-        bencher.iter(|| ComplianceChecker::liability(scenario.deployment.provenance(), "ann-analysis"));
+        bencher.iter(|| {
+            ComplianceChecker::liability(scenario.deployment.provenance(), "ann-analysis")
+        });
         let _ = &checker;
     });
     group.finish();

@@ -281,11 +281,8 @@ impl ComplianceChecker {
     /// Builds a liability report for a data item from the provenance graph: the agents
     /// controlling every process that touched the item or anything derived from it.
     pub fn liability(provenance: &ProvenanceGraph, data_item: &str) -> LiabilityReport {
-        let agents = provenance
-            .responsible_agents(data_item)
-            .into_iter()
-            .map(|n| n.name.clone())
-            .collect();
+        let agents =
+            provenance.responsible_agents(data_item).into_iter().map(|n| n.name.clone()).collect();
         let processes = provenance
             .taint(data_item)
             .into_iter()
@@ -342,10 +339,7 @@ mod tests {
         assert!(report.violations.iter().any(|v| v.obligation.starts_with("consent:ann")));
         // With consent recorded, the consent obligation is satisfied.
         let report = checker().check(&[&log], &graph, &regions, &["ann".to_string()], &[]);
-        assert!(!report
-            .violations
-            .iter()
-            .any(|v| v.obligation.starts_with("consent:ann")));
+        assert!(!report.violations.iter().any(|v| v.obligation.starts_with("consent:ann")));
         assert_eq!(report.obligations_checked, 5);
         assert_eq!(report.records_examined, 1);
         assert!(report.evidence_intact);
@@ -379,8 +373,22 @@ mod tests {
 
         let mut good = ProvenanceGraph::new();
         good.record_derivation("raw-1", &[], "patient-records", "hospital", personal_ctx(), 1);
-        good.record_derivation("anon-1", &["raw-1"], "stats-generator", "hospital", SecurityContext::public(), 2);
-        good.record_derivation("report", &["anon-1"], "ward-manager", "hospital", SecurityContext::public(), 3);
+        good.record_derivation(
+            "anon-1",
+            &["raw-1"],
+            "stats-generator",
+            "hospital",
+            SecurityContext::public(),
+            2,
+        );
+        good.record_derivation(
+            "report",
+            &["anon-1"],
+            "ward-manager",
+            "hospital",
+            SecurityContext::public(),
+            3,
+        );
         let report = checker().check(&[&log], &good, &[], &["ann".to_string()], &[]);
         assert!(!report
             .violations
@@ -393,21 +401,10 @@ mod tests {
         let log = log_with_flow(false, "advertiser");
         let graph = ProvenanceGraph::new();
         let report = checker().check(&[&log], &graph, &[], &["ann".to_string()], &[]);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.obligation.starts_with("breach-notify")));
-        let report = checker().check(
-            &[&log],
-            &graph,
-            &[],
-            &["ann".to_string()],
-            &["regulator".to_string()],
-        );
-        assert!(!report
-            .violations
-            .iter()
-            .any(|v| v.obligation.starts_with("breach-notify")));
+        assert!(report.violations.iter().any(|v| v.obligation.starts_with("breach-notify")));
+        let report =
+            checker().check(&[&log], &graph, &[], &["ann".to_string()], &["regulator".to_string()]);
+        assert!(!report.violations.iter().any(|v| v.obligation.starts_with("breach-notify")));
     }
 
     #[test]
@@ -429,7 +426,8 @@ mod tests {
             100 * 24 * 3600 * 1000,
         );
         let graph = ProvenanceGraph::new();
-        let report = checker().check(&[&log], &graph, &[], &["ann".to_string()], &["regulator".into()]);
+        let report =
+            checker().check(&[&log], &graph, &[], &["ann".to_string()], &["regulator".into()]);
         assert!(report.violations.iter().any(|v| v.obligation.starts_with("retention")));
     }
 
@@ -452,7 +450,14 @@ mod tests {
     fn liability_report_names_agents_and_processes() {
         let mut graph = ProvenanceGraph::new();
         graph.record_derivation("raw-1", &[], "patient-records", "hospital", personal_ctx(), 1);
-        graph.record_derivation("leak", &["raw-1"], "exporter", "cloud-provider", personal_ctx(), 2);
+        graph.record_derivation(
+            "leak",
+            &["raw-1"],
+            "exporter",
+            "cloud-provider",
+            personal_ctx(),
+            2,
+        );
         let report = ComplianceChecker::liability(&graph, "raw-1");
         assert_eq!(report.data_item, "raw-1");
         assert!(report.responsible_agents.contains(&"hospital".to_string()));

@@ -144,11 +144,7 @@ pub struct RegulationSet {
 impl RegulationSet {
     /// Creates an empty regulation set.
     pub fn new(name: impl Into<String>, authority: impl Into<String>) -> Self {
-        RegulationSet {
-            name: name.into(),
-            authority: authority.into(),
-            obligations: Vec::new(),
-        }
+        RegulationSet { name: name.into(), authority: authority.into(), obligations: Vec::new() }
     }
 
     /// Adds an obligation.
@@ -160,19 +156,13 @@ impl RegulationSet {
     /// Compiles every obligation into policy rules, attributed to this regulation's
     /// authority.
     pub fn compile(&self) -> Vec<PolicyRule> {
-        self.obligations
-            .iter()
-            .flat_map(|o| o.compile(&self.authority))
-            .collect()
+        self.obligations.iter().flat_map(|o| o.compile(&self.authority)).collect()
     }
 
     /// All tags the regulation requires to exist.
     pub fn required_tags(&self) -> Vec<Tag> {
-        let mut tags: Vec<Tag> = self
-            .obligations
-            .iter()
-            .flat_map(Obligation::required_tags)
-            .collect();
+        let mut tags: Vec<Tag> =
+            self.obligations.iter().flat_map(Obligation::required_tags).collect();
         tags.sort();
         tags.dedup();
         tags
@@ -214,7 +204,8 @@ mod tests {
 
     #[test]
     fn obligation_ids_are_distinct_and_stable() {
-        let a = Obligation::ConsentRequired { data_tag: Tag::new("personal"), subject: "ann".into() };
+        let a =
+            Obligation::ConsentRequired { data_tag: Tag::new("personal"), subject: "ann".into() };
         let b = Obligation::GeoResidency { data_tag: Tag::new("personal"), region: "eu".into() };
         assert_ne!(a.id(), b.id());
         assert_eq!(a.id(), "consent:ann:personal");

@@ -65,11 +65,7 @@ impl Region {
     pub fn new(name: impl Into<String>, a: GeoPoint, b: GeoPoint) -> Self {
         let south_west = GeoPoint::new(a.latitude.min(b.latitude), a.longitude.min(b.longitude));
         let north_east = GeoPoint::new(a.latitude.max(b.latitude), a.longitude.max(b.longitude));
-        Region {
-            name: name.into(),
-            south_west,
-            north_east,
-        }
+        Region { name: name.into(), south_west, north_east }
     }
 
     /// The region's name.

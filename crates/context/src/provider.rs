@@ -43,10 +43,7 @@ impl StaticProvider {
     {
         StaticProvider {
             name: name.into(),
-            values: values
-                .into_iter()
-                .map(|(k, v)| (k.into(), v.into()))
-                .collect(),
+            values: values.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
         }
     }
 }
@@ -78,12 +75,7 @@ impl PresenceProvider {
     /// `position`.
     pub fn new(subject: impl Into<String>, region: Region, position: GeoPoint) -> Self {
         let subject = subject.into();
-        PresenceProvider {
-            name: format!("presence:{subject}"),
-            subject,
-            region,
-            position,
-        }
+        PresenceProvider { name: format!("presence:{subject}"), subject, region, position }
     }
 
     /// Moves the subject to a new position (e.g. the nurse arrives at the patient's home).
@@ -104,10 +96,7 @@ impl ContextProvider for PresenceProvider {
 
     fn provide(&mut self, _now: Timestamp) -> Vec<(ContextKey, ContextValue)> {
         vec![
-            (
-                self.presence_key(),
-                ContextValue::Bool(self.region.contains(&self.position)),
-            ),
+            (self.presence_key(), ContextValue::Bool(self.region.contains(&self.position))),
             (
                 ContextKey::new(format!("{}.location", self.subject)),
                 ContextValue::Location {
@@ -133,11 +122,7 @@ impl ShiftProvider {
     /// Creates a shift provider for `subject` with the rostered windows.
     pub fn new(subject: impl Into<String>, shifts: Vec<TimeWindow>) -> Self {
         let subject = subject.into();
-        ShiftProvider {
-            name: format!("shift:{subject}"),
-            subject,
-            shifts,
-        }
+        ShiftProvider { name: format!("shift:{subject}"), subject, shifts }
     }
 
     /// The key under which shift status is reported.
@@ -177,18 +162,12 @@ mod tests {
         let home = Region::around("ann-home", GeoPoint::new(52.2, 0.12), 0.01);
         let mut p = PresenceProvider::new("nurse", home, GeoPoint::new(0.0, 0.0));
         let values = p.provide(Timestamp(0));
-        let in_home = values
-            .iter()
-            .find(|(k, _)| k == &p.presence_key())
-            .unwrap();
+        let in_home = values.iter().find(|(k, _)| k == &p.presence_key()).unwrap();
         assert_eq!(in_home.1, ContextValue::Bool(false));
 
         p.move_to(GeoPoint::new(52.2, 0.12));
         let values = p.provide(Timestamp(1));
-        let in_home = values
-            .iter()
-            .find(|(k, _)| k == &p.presence_key())
-            .unwrap();
+        let in_home = values.iter().find(|(k, _)| k == &p.presence_key()).unwrap();
         assert_eq!(in_home.1, ContextValue::Bool(true));
         // Location is also reported.
         assert!(values
@@ -198,10 +177,8 @@ mod tests {
 
     #[test]
     fn shift_provider_uses_time_windows() {
-        let mut p = ShiftProvider::new(
-            "nurse",
-            vec![TimeWindow::new(Timestamp(100), Timestamp(200))],
-        );
+        let mut p =
+            ShiftProvider::new("nurse", vec![TimeWindow::new(Timestamp(100), Timestamp(200))]);
         assert_eq!(p.provide(Timestamp(50))[0].1, ContextValue::Bool(false));
         assert_eq!(p.provide(Timestamp(150))[0].1, ContextValue::Bool(true));
         assert_eq!(p.provide(Timestamp(250))[0].1, ContextValue::Bool(false));

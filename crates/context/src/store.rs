@@ -103,10 +103,7 @@ impl ContextSnapshot {
         ContextSnapshot {
             version: 0,
             at: Timestamp::ZERO,
-            values: pairs
-                .into_iter()
-                .map(|(k, v)| (k.into(), v.into()))
-                .collect(),
+            values: pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
         }
     }
 }
@@ -154,13 +151,7 @@ impl ContextStore {
         inner.version += 1;
         let version = inner.version;
         let previous = inner.values.insert(key.clone(), value.clone());
-        inner.changes.push(ContextChange {
-            version,
-            at,
-            key,
-            previous,
-            current: Some(value),
-        });
+        inner.changes.push(ContextChange { version, at, key, previous, current: Some(value) });
         version
     }
 
@@ -217,12 +208,8 @@ impl ContextStore {
     pub fn poll(&self, id: SubscriptionId) -> Vec<ContextChange> {
         let mut inner = self.inner.write();
         let cursor = inner.cursors.get(&id).copied().unwrap_or(0);
-        let fresh: Vec<ContextChange> = inner
-            .changes
-            .iter()
-            .filter(|c| c.version > cursor)
-            .cloned()
-            .collect();
+        let fresh: Vec<ContextChange> =
+            inner.changes.iter().filter(|c| c.version > cursor).cloned().collect();
         let newest = inner.version;
         inner.cursors.insert(id, newest);
         fresh
@@ -245,10 +232,7 @@ mod tests {
         assert_eq!(store.version(), 0);
         let v1 = store.set("patient.hr", 72i64, Timestamp(10));
         assert_eq!(v1, 1);
-        assert_eq!(
-            store.get(&ContextKey::new("patient.hr")),
-            Some(ContextValue::Integer(72))
-        );
+        assert_eq!(store.get(&ContextKey::new("patient.hr")), Some(ContextValue::Integer(72)));
         let v2 = store.remove(&ContextKey::new("patient.hr"), Timestamp(20));
         assert_eq!(v2, 2);
         assert_eq!(store.get(&ContextKey::new("patient.hr")), None);

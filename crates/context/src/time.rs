@@ -68,10 +68,7 @@ impl LogicalClock {
 
     /// Advances the clock by `millis`, returning the new time.
     pub fn advance(&self, millis: u64) -> Timestamp {
-        let new = self
-            .now_millis
-            .fetch_add(millis, Ordering::SeqCst)
-            .saturating_add(millis);
+        let new = self.now_millis.fetch_add(millis, Ordering::SeqCst).saturating_add(millis);
         Timestamp(new)
     }
 
@@ -109,10 +106,7 @@ impl TimeWindow {
 
     /// A window covering all of time.
     pub fn always() -> Self {
-        TimeWindow {
-            start: Timestamp::ZERO,
-            end: Timestamp(u64::MAX),
-        }
+        TimeWindow { start: Timestamp::ZERO, end: Timestamp(u64::MAX) }
     }
 
     /// Whether the window contains `t`.

@@ -127,10 +127,9 @@ impl Deployment {
         let component = thing.to_component();
         let name = component.name().to_string();
         self.middleware.registry_mut().register(component);
-        self.middleware.access_mut().add_rule(
-            &name,
-            AccessRule::allow(Subject::Anyone, Operation::Send, None),
-        );
+        self.middleware
+            .access_mut()
+            .add_rule(&name, AccessRule::allow(Subject::Anyone, Operation::Send, None));
         let engine_name = self.engine.name().to_string();
         self.middleware.access_mut().add_rule(
             &name,
@@ -139,9 +138,8 @@ impl Deployment {
         self.component_regions.push((name.clone(), region.into()));
         let now = self.now();
         let snapshot = self.context.snapshot();
-        let outcome = self
-            .engine
-            .evaluate(&PolicyEvent::ComponentJoined { component: name }, &snapshot, now);
+        let outcome =
+            self.engine.evaluate(&PolicyEvent::ComponentJoined { component: name }, &snapshot, now);
         self.apply_outcome_commands(&outcome.commands);
     }
 
@@ -149,8 +147,7 @@ impl Deployment {
     pub fn record_consent(&mut self, subject: impl Into<String>) {
         let subject = subject.into();
         let now = self.now();
-        self.context
-            .set(format!("{subject}.consent-given"), true, now);
+        self.context.set(format!("{subject}.consent-given"), true, now);
         self.consent_given.push(subject);
     }
 
@@ -325,10 +322,13 @@ impl Deployment {
 
     /// Registers a tag in the global tag registry under the given owner.
     pub fn register_tag(&mut self, tag: Tag, description: &str, owner: &str) {
-        let _ = self
-            .middleware
-            .tag_registry_mut()
-            .register(tag, description, TagScope::Global, false, owner);
+        let _ = self.middleware.tag_registry_mut().register(
+            tag,
+            description,
+            TagScope::Global,
+            false,
+            owner,
+        );
     }
 
     /// Records a data derivation in the provenance graph (called by scenario code when
@@ -342,8 +342,7 @@ impl Deployment {
         context: SecurityContext,
     ) {
         let now = self.now().as_millis();
-        self.provenance
-            .record_derivation(output, inputs, process, agent, context, now);
+        self.provenance.record_derivation(output, inputs, process, agent, context, now);
     }
 
     /// Runs a compliance check of the given regulation over everything recorded so far.
@@ -436,9 +435,15 @@ mod tests {
             PolicyRule::builder("emergency-response", "hospital-engine")
                 .on_context_key("ann.emergency")
                 .when(Condition::is_true("ann.emergency"))
-                .then(Action::Connect { from: "ann-analyser".into(), to: "emergency-doctor".into() })
+                .then(Action::Connect {
+                    from: "ann-analyser".into(),
+                    to: "emergency-doctor".into(),
+                })
                 .then(Action::Notify { recipient: "emergency-doctor".into(), message: "go".into() })
-                .then(Action::Actuate { component: "ann-sensor".into(), command: "sample-interval=1s".into() })
+                .then(Action::Actuate {
+                    component: "ann-sensor".into(),
+                    command: "sample-interval=1s".into(),
+                })
                 .priority(PolicyPriority::EMERGENCY)
                 .build(),
         );
@@ -463,10 +468,7 @@ mod tests {
         let before = d.engine().rule_count();
         d.add_regulation(&reg);
         assert!(d.engine().rule_count() > before);
-        assert!(d
-            .middleware()
-            .tag_registry()
-            .contains(&Tag::new("personal")));
+        assert!(d.middleware().tag_registry().contains(&Tag::new("personal")));
     }
 
     #[test]
@@ -494,11 +496,9 @@ mod tests {
     fn breakglass_activation_applies_emergency_actions() {
         let mut d = basic_deployment();
         d.add_breakglass(
-            BreakGlass::new("emergency-access", "hospital-engine", 60_000)
-                .with_emergency_action(Action::Connect {
-                    from: "ann-analyser".into(),
-                    to: "emergency-doctor".into(),
-                }),
+            BreakGlass::new("emergency-access", "hospital-engine", 60_000).with_emergency_action(
+                Action::Connect { from: "ann-analyser".into(), to: "emergency-doctor".into() },
+            ),
         );
         assert!(!d.activate_breakglass("unknown", "x"));
         assert!(!d.activate_breakglass("emergency-access", "  "));
@@ -524,7 +524,7 @@ mod tests {
     }
 
     #[test]
-    fn workload_things_flow_as_in_fig4(){
+    fn workload_things_flow_as_in_fig4() {
         let w = HomeMonitoringWorkload::fig7(1);
         let things = w.things();
         let ann_sensor = things.iter().find(|t| t.name == "ann-sensor").unwrap();

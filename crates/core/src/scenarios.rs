@@ -85,11 +85,7 @@ impl HomeMonitoringScenario {
         deployment.connect("ann-analyser", "stats-generator").unwrap();
         deployment.connect("zeb-analyser", "stats-generator").unwrap();
 
-        HomeMonitoringScenario {
-            deployment,
-            workload,
-            regulation,
-        }
+        HomeMonitoringScenario { deployment, workload, regulation }
     }
 
     /// The regulation governing the scenario.
@@ -100,14 +96,10 @@ impl HomeMonitoringScenario {
     /// Demonstrates Fig. 4: Zeb's raw data cannot reach Ann's analyser, and cannot reach
     /// Zeb's own analyser without the sanitiser. Returns the two denial outcomes.
     pub fn demonstrate_illegal_flows(&mut self) -> (DeliveryOutcome, DeliveryOutcome) {
-        let cross_patient = self
-            .deployment
-            .connect("zeb-sensor", "ann-analyser")
-            .expect("components exist");
-        let unsanitised = self
-            .deployment
-            .connect("zeb-sensor", "zeb-analyser")
-            .expect("components exist");
+        let cross_patient =
+            self.deployment.connect("zeb-sensor", "ann-analyser").expect("components exist");
+        let unsanitised =
+            self.deployment.connect("zeb-sensor", "zeb-analyser").expect("components exist");
         (cross_patient, unsanitised)
     }
 
@@ -135,12 +127,8 @@ impl HomeMonitoringScenario {
         );
         let snapshot = self.deployment.context().snapshot();
         let now = self.deployment.now();
-        self.deployment
-            .middleware_mut()
-            .apply_command(&cmd, &snapshot, now);
-        self.deployment
-            .connect("input-sanitiser", "zeb-analyser")
-            .expect("components exist");
+        self.deployment.middleware_mut().apply_command(&cmd, &snapshot, now);
+        self.deployment.connect("input-sanitiser", "zeb-analyser").expect("components exist");
     }
 
     /// Runs the declassification of Fig. 6: the statistics generator aggregates patient
@@ -176,10 +164,8 @@ impl HomeMonitoringScenario {
         );
 
         // Before declassification the generator cannot reach the ward manager.
-        let before = self
-            .deployment
-            .connect("stats-generator", "ward-manager")
-            .expect("components exist");
+        let before =
+            self.deployment.connect("stats-generator", "ward-manager").expect("components exist");
         assert!(matches!(before, DeliveryOutcome::DeniedByIfc(_)));
 
         // The hospital engine declassifies the generator (approved anonymisation).
@@ -195,14 +181,10 @@ impl HomeMonitoringScenario {
         );
         let snapshot = self.deployment.context().snapshot();
         let now = self.deployment.now();
-        self.deployment
-            .middleware_mut()
-            .apply_command(&cmd, &snapshot, now);
+        self.deployment.middleware_mut().apply_command(&cmd, &snapshot, now);
 
-        let outcome = self
-            .deployment
-            .connect("stats-generator", "ward-manager")
-            .expect("components exist");
+        let outcome =
+            self.deployment.connect("stats-generator", "ward-manager").expect("components exist");
         assert!(outcome.is_delivered());
         self.deployment
             .send(
@@ -225,9 +207,7 @@ impl HomeMonitoringScenario {
         );
         let snapshot = self.deployment.context().snapshot();
         let now = self.deployment.now();
-        self.deployment
-            .middleware_mut()
-            .apply_command(&cmd, &snapshot, now);
+        self.deployment.middleware_mut().apply_command(&cmd, &snapshot, now);
     }
 
     /// Relays one third-party reading through the input sanitiser, modelling the
@@ -236,13 +216,7 @@ impl HomeMonitoringScenario {
     /// context, and forwards to the patient's analyser. Returns whether the converted
     /// reading reached the analyser.
     pub fn relay_third_party_reading(&mut self, patient: &str, heart_rate: i64) -> bool {
-        let Some(p) = self
-            .workload
-            .patients
-            .iter()
-            .find(|p| p.name == patient)
-            .cloned()
-        else {
+        let Some(p) = self.workload.patients.iter().find(|p| p.name == patient).cloned() else {
             return false;
         };
         let sensor = format!("{patient}-sensor");
@@ -251,10 +225,8 @@ impl HomeMonitoringScenario {
         // Phase 1: input context — receive the raw, non-standard reading.
         self.set_sanitiser_context(HomeMonitoringWorkload::sensor_context(&p));
         let _ = self.deployment.connect(&sensor, "input-sanitiser");
-        let raw = Message::new("sensor-reading", SecurityContext::public()).with(
-            "value",
-            legaliot_middleware::AttributeValue::Integer(heart_rate),
-        );
+        let raw = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", legaliot_middleware::AttributeValue::Integer(heart_rate));
         let received = self
             .deployment
             .send(&sensor, "input-sanitiser", raw)
@@ -268,10 +240,8 @@ impl HomeMonitoringScenario {
         // Phase 2: endorsement — change context and forward the converted reading.
         self.set_sanitiser_context(HomeMonitoringWorkload::analyser_context(&p));
         let _ = self.deployment.connect("input-sanitiser", &analyser);
-        let converted = Message::new("sensor-reading", SecurityContext::public()).with(
-            "value",
-            legaliot_middleware::AttributeValue::Integer(heart_rate),
-        );
+        let converted = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", legaliot_middleware::AttributeValue::Integer(heart_rate));
         self.deployment
             .send("input-sanitiser", &analyser, converted)
             .map(|o| o.is_delivered())
@@ -287,10 +257,8 @@ impl HomeMonitoringScenario {
         let readings = self.workload.readings(rounds, start);
         for reading in readings {
             self.deployment.advance(10);
-            self.deployment.set_context(
-                format!("{}.heart-rate", reading.patient),
-                reading.heart_rate as i64,
-            );
+            self.deployment
+                .set_context(format!("{}.heart-rate", reading.patient), reading.heart_rate as i64);
 
             // Route: hospital devices go straight to their analyser; third-party devices
             // are relayed through the input sanitiser (Fig. 5).
@@ -321,8 +289,7 @@ impl HomeMonitoringScenario {
 
             if reading.is_emergency() {
                 outcome.emergencies += 1;
-                self.deployment
-                    .set_context(format!("{}.emergency", reading.patient), true);
+                self.deployment.set_context(format!("{}.emergency", reading.patient), true);
             }
             self.deployment.tick();
         }

@@ -41,10 +41,7 @@ impl CreepReport {
     /// Contexts from which fewer than `threshold` other contexts are directly
     /// reachable — candidates for inserting a declassifier.
     pub fn bottlenecks(&self, threshold: usize) -> Vec<&CreepEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.reachable_direct < threshold)
-            .collect()
+        self.entries.iter().filter(|e| e.reachable_direct < threshold).collect()
     }
 
     /// The entry with the largest secrecy label, if any.
@@ -125,9 +122,8 @@ mod tests {
         let mut e = Entity::active("anonymiser", input);
         e.privileges_mut().grant("medical", PrivilegeKind::SecrecyRemove);
         e.privileges_mut().grant("ann", PrivilegeKind::SecrecyRemove);
-        let t = Transformation::named("anonymise")
-            .removing_secrecy("medical")
-            .removing_secrecy("ann");
+        let t =
+            Transformation::named("anonymise").removing_secrecy("medical").removing_secrecy("ann");
         let output = ctx(&[], &[]);
         Gateway::new(e, t, output).unwrap()
     }

@@ -246,15 +246,9 @@ impl Entity {
 
 fn missing_privilege_error(tag: Tag, kind: PrivilegeKind) -> IfcError {
     if kind.is_add() {
-        IfcError::MissingAddPrivilege {
-            tag,
-            secrecy: kind.is_secrecy(),
-        }
+        IfcError::MissingAddPrivilege { tag, secrecy: kind.is_secrecy() }
     } else {
-        IfcError::MissingRemovePrivilege {
-            tag,
-            secrecy: kind.is_secrecy(),
-        }
+        IfcError::MissingRemovePrivilege { tag, secrecy: kind.is_secrecy() }
     }
 }
 
@@ -284,9 +278,7 @@ mod tests {
     #[test]
     fn child_inherits_labels_not_privileges() {
         let mut parent = Entity::active("parent", ctx(&["medical"], &["consent"]));
-        parent
-            .privileges_mut()
-            .grant("medical", PrivilegeKind::SecrecyRemove);
+        parent.privileges_mut().grant("medical", PrivilegeKind::SecrecyRemove);
         let child = parent.create_child("child", EntityKind::Active);
         assert_eq!(child.context(), parent.context());
         assert!(child.privileges().is_empty());
@@ -300,8 +292,7 @@ mod tests {
         assert!(matches!(err, IfcError::MissingRemovePrivilege { .. }));
         assert!(e.context().secrecy().contains_name("medical"));
 
-        e.privileges_mut()
-            .grant("medical", PrivilegeKind::SecrecyRemove);
+        e.privileges_mut().grant("medical", PrivilegeKind::SecrecyRemove);
         e.remove_secrecy_tag(&Tag::new("medical")).unwrap();
         assert!(!e.context().secrecy().contains_name("medical"));
         assert_eq!(e.label_changes(), 1);
@@ -310,9 +301,7 @@ mod tests {
     #[test]
     fn passive_entities_cannot_change_labels() {
         let mut datum = Entity::passive("reading", ctx(&["medical"], &[]));
-        datum
-            .privileges_mut()
-            .grant("medical", PrivilegeKind::SecrecyRemove);
+        datum.privileges_mut().grant("medical", PrivilegeKind::SecrecyRemove);
         // Even with (erroneously granted) privileges, a passive entity cannot act.
         assert!(datum.remove_secrecy_tag(&Tag::new("medical")).is_err());
     }
@@ -320,18 +309,19 @@ mod tests {
     #[test]
     fn endorsement_adds_integrity_tag() {
         let mut sanitiser = Entity::active("sanitiser", ctx(&["medical", "zeb"], &["zeb-dev"]));
-        sanitiser
-            .privileges_mut()
-            .grant("hosp-dev", PrivilegeKind::IntegrityAdd);
+        sanitiser.privileges_mut().grant("hosp-dev", PrivilegeKind::IntegrityAdd);
         sanitiser.add_integrity_tag(Tag::new("hosp-dev")).unwrap();
         assert!(sanitiser.context().integrity().contains_name("hosp-dev"));
     }
 
     #[test]
     fn flow_between_entities_uses_contexts() {
-        let ann_sensor = Entity::active("ann-sensor", ctx(&["medical", "ann"], &["hosp-dev", "consent"]));
-        let ann_analyser = Entity::active("ann-analyser", ctx(&["medical", "ann"], &["hosp-dev", "consent"]));
-        let zeb_sensor = Entity::active("zeb-sensor", ctx(&["medical", "zeb"], &["zeb-dev", "consent"]));
+        let ann_sensor =
+            Entity::active("ann-sensor", ctx(&["medical", "ann"], &["hosp-dev", "consent"]));
+        let ann_analyser =
+            Entity::active("ann-analyser", ctx(&["medical", "ann"], &["hosp-dev", "consent"]));
+        let zeb_sensor =
+            Entity::active("zeb-sensor", ctx(&["medical", "zeb"], &["zeb-dev", "consent"]));
         assert!(ann_sensor.can_send_to(&ann_analyser).is_allowed());
         assert!(zeb_sensor.can_send_to(&ann_analyser).is_denied());
     }

@@ -95,10 +95,7 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let err = IfcError::MissingAddPrivilege {
-            tag: Tag::new("medical"),
-            secrecy: true,
-        };
+        let err = IfcError::MissingAddPrivilege { tag: Tag::new("medical"), secrecy: true };
         let s = err.to_string();
         assert!(s.contains("medical"));
         assert!(s.contains("secrecy"));
@@ -113,9 +110,7 @@ mod tests {
 
     #[test]
     fn not_tag_owner_display() {
-        let err = IfcError::NotTagOwner {
-            tag: Tag::new("consent"),
-        };
+        let err = IfcError::NotTagOwner { tag: Tag::new("consent") };
         assert!(err.to_string().contains("consent"));
     }
 

@@ -149,10 +149,7 @@ pub fn can_flow(source: &SecurityContext, destination: &SecurityContext) -> Flow
     if missing_secrecy.is_empty() && missing_integrity.is_empty() {
         FlowDecision::Allowed
     } else {
-        FlowDecision::Denied(FlowDenialReason {
-            missing_secrecy,
-            missing_integrity,
-        })
+        FlowDecision::Denied(FlowDenialReason { missing_secrecy, missing_integrity })
     }
 }
 
@@ -245,10 +242,8 @@ mod tests {
     }
 
     fn arb_ctx() -> impl Strategy<Value = SecurityContext> {
-        let label = || {
-            proptest::collection::btree_set("[a-d]{1,2}", 0..5)
-                .prop_map(|names| Label::from_names(names))
-        };
+        let label =
+            || proptest::collection::btree_set("[a-d]{1,2}", 0..5).prop_map(Label::from_names);
         (label(), label()).prop_map(|(s, i)| SecurityContext::new(s, i))
     }
 

@@ -192,11 +192,7 @@ impl Gateway {
                 ),
             });
         }
-        Ok(Gateway {
-            entity,
-            transformation,
-            output_context,
-        })
+        Ok(Gateway { entity, transformation, output_context })
     }
 
     /// The underlying entity.
@@ -338,9 +334,7 @@ mod tests {
 
     #[test]
     fn transformation_apply_is_pure() {
-        let t = Transformation::named("anon")
-            .removing_secrecy("ann")
-            .adding_secrecy("stats");
+        let t = Transformation::named("anon").removing_secrecy("ann").adding_secrecy("stats");
         let input = ctx(&["medical", "ann"], &["consent"]);
         let out = t.apply(&input);
         assert!(out.secrecy().contains_name("stats"));

@@ -110,23 +110,17 @@ impl Label {
 
     /// The union of two labels (lattice join for secrecy).
     pub fn union(&self, other: &Label) -> Label {
-        Label {
-            tags: self.tags.union(&other.tags).cloned().collect(),
-        }
+        Label { tags: self.tags.union(&other.tags).cloned().collect() }
     }
 
     /// The intersection of two labels (lattice meet for secrecy).
     pub fn intersection(&self, other: &Label) -> Label {
-        Label {
-            tags: self.tags.intersection(&other.tags).cloned().collect(),
-        }
+        Label { tags: self.tags.intersection(&other.tags).cloned().collect() }
     }
 
     /// Tags present in `self` but not in `other`.
     pub fn difference(&self, other: &Label) -> Label {
-        Label {
-            tags: self.tags.difference(&other.tags).cloned().collect(),
-        }
+        Label { tags: self.tags.difference(&other.tags).cloned().collect() }
     }
 
     /// The tags of `other` that `self` is missing; useful for explaining flow denials.
@@ -156,9 +150,7 @@ impl fmt::Debug for Label {
 
 impl FromIterator<Tag> for Label {
     fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
-        Label {
-            tags: iter.into_iter().collect(),
-        }
+        Label { tags: iter.into_iter().collect() }
     }
 }
 
@@ -269,8 +261,7 @@ mod tests {
     }
 
     fn arb_label() -> impl Strategy<Value = Label> {
-        proptest::collection::btree_set("[a-e]{1,3}", 0..6)
-            .prop_map(|names| Label::from_names(names))
+        proptest::collection::btree_set("[a-e]{1,3}", 0..6).prop_map(Label::from_names)
     }
 
     proptest! {

@@ -37,10 +37,7 @@ pub fn label_meet(a: &Label, b: &Label) -> Label {
 /// assert!(!combined.integrity().contains_name("hosp-dev"));
 /// ```
 pub fn context_join(a: &SecurityContext, b: &SecurityContext) -> SecurityContext {
-    SecurityContext::new(
-        a.secrecy().union(b.secrecy()),
-        a.integrity().intersection(b.integrity()),
-    )
+    SecurityContext::new(a.secrecy().union(b.secrecy()), a.integrity().intersection(b.integrity()))
 }
 
 /// The meet of two security contexts in the flow order: the most-constrained context
@@ -48,10 +45,7 @@ pub fn context_join(a: &SecurityContext, b: &SecurityContext) -> SecurityContext
 ///
 /// `S = S(a) ∩ S(b)`, `I = I(a) ∪ I(b)`.
 pub fn context_meet(a: &SecurityContext, b: &SecurityContext) -> SecurityContext {
-    SecurityContext::new(
-        a.secrecy().intersection(b.secrecy()),
-        a.integrity().union(b.integrity()),
-    )
+    SecurityContext::new(a.secrecy().intersection(b.secrecy()), a.integrity().union(b.integrity()))
 }
 
 #[cfg(test)]
@@ -91,10 +85,8 @@ mod tests {
     }
 
     fn arb_ctx() -> impl Strategy<Value = SecurityContext> {
-        let label = || {
-            proptest::collection::btree_set("[a-d]{1,2}", 0..4)
-                .prop_map(|n| Label::from_names(n))
-        };
+        let label =
+            || proptest::collection::btree_set("[a-d]{1,2}", 0..4).prop_map(Label::from_names);
         (label(), label()).prop_map(|(s, i)| SecurityContext::new(s, i))
     }
 

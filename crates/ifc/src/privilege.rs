@@ -161,9 +161,7 @@ impl PrivilegeSet {
     /// Iterates all privileges as `(tag, kind)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = Privilege> + '_ {
         PrivilegeKind::ALL.into_iter().flat_map(move |kind| {
-            self.label_for(kind)
-                .iter()
-                .map(move |tag| Privilege::new(tag.clone(), kind))
+            self.label_for(kind).iter().map(move |tag| Privilege::new(tag.clone(), kind))
         })
     }
 
@@ -228,11 +226,7 @@ impl TagOwnership {
     ///
     /// Returns [`crate::IfcError::NotTagOwner`] if `delegator` is not the registered
     /// owner (or the tag has no owner).
-    pub fn authorise_delegation(
-        &self,
-        tag: &Tag,
-        delegator: &str,
-    ) -> Result<(), crate::IfcError> {
+    pub fn authorise_delegation(&self, tag: &Tag, delegator: &str) -> Result<(), crate::IfcError> {
         if self.is_owner(tag, delegator) {
             Ok(())
         } else {
@@ -336,9 +330,7 @@ mod tests {
         let mut o = TagOwnership::new();
         o.register("medical", "hospital");
         assert!(o.authorise_delegation(&Tag::new("medical"), "hospital").is_ok());
-        let err = o
-            .authorise_delegation(&Tag::new("medical"), "rogue")
-            .unwrap_err();
+        let err = o.authorise_delegation(&Tag::new("medical"), "rogue").unwrap_err();
         assert!(matches!(err, crate::IfcError::NotTagOwner { .. }));
         // Unowned tags cannot be delegated by anyone.
         assert!(o.authorise_delegation(&Tag::new("unowned"), "hospital").is_err());

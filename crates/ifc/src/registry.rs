@@ -95,12 +95,7 @@ impl TagRegistry {
         self.ownership.register(tag.clone(), owner);
         self.descriptors.insert(
             tag.clone(),
-            TagDescriptor {
-                tag,
-                description: description.into(),
-                scope,
-                sensitive,
-            },
+            TagDescriptor { tag, description: description.into(), scope, sensitive },
         );
         Ok(())
     }
@@ -121,27 +116,22 @@ impl TagRegistry {
     }
 
     /// All tags registered under the given namespace prefix (e.g. `"nhs"`).
-    pub fn tags_in_namespace<'a>(&'a self, namespace: &'a str) -> impl Iterator<Item = &'a Tag> + 'a {
-        self.descriptors
-            .keys()
-            .filter(move |t| t.namespace() == Some(namespace))
+    pub fn tags_in_namespace<'a>(
+        &'a self,
+        namespace: &'a str,
+    ) -> impl Iterator<Item = &'a Tag> + 'a {
+        self.descriptors.keys().filter(move |t| t.namespace() == Some(namespace))
     }
 
     /// All globally-scoped tags.
     pub fn global_tags(&self) -> impl Iterator<Item = &Tag> + '_ {
-        self.descriptors
-            .values()
-            .filter(|d| d.scope == TagScope::Global)
-            .map(|d| &d.tag)
+        self.descriptors.values().filter(|d| d.scope == TagScope::Global).map(|d| &d.tag)
     }
 
     /// Tags whose descriptors are marked sensitive; policy stores should restrict the
     /// visibility of these (Challenge 2).
     pub fn sensitive_tags(&self) -> impl Iterator<Item = &Tag> + '_ {
-        self.descriptors
-            .values()
-            .filter(|d| d.sensitive)
-            .map(|d| &d.tag)
+        self.descriptors.values().filter(|d| d.sensitive).map(|d| &d.tag)
     }
 
     /// Number of registered tags.
@@ -237,14 +227,8 @@ mod tests {
     #[test]
     fn ownership_authorises_delegation() {
         let reg = sample();
-        assert!(reg
-            .ownership()
-            .authorise_delegation(&Tag::new("medical"), "hospital")
-            .is_ok());
-        assert!(reg
-            .ownership()
-            .authorise_delegation(&Tag::new("medical"), "tenant")
-            .is_err());
+        assert!(reg.ownership().authorise_delegation(&Tag::new("medical"), "hospital").is_ok());
+        assert!(reg.ownership().authorise_delegation(&Tag::new("medical"), "tenant").is_err());
     }
 
     #[test]

@@ -276,7 +276,7 @@ mod tests {
 
     #[test]
     fn tags_order_deterministically() {
-        let mut v = vec![Tag::new("zeb"), Tag::new("ann"), Tag::new("medical")];
+        let mut v = [Tag::new("zeb"), Tag::new("ann"), Tag::new("medical")];
         v.sort();
         let names: Vec<_> = v.iter().map(Tag::name).collect();
         assert_eq!(names, vec!["ann", "medical", "zeb"]);
@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn tag_display_round_trip() {
         let t = Tag::new("nhs:medical");
-        assert_eq!(Tag::new(t.to_string()), t);
+        assert_eq!(Tag::new(format!("{t}")), t);
     }
 
     #[test]

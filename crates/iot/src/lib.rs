@@ -18,6 +18,4 @@ pub mod things;
 pub mod workload;
 
 pub use things::{Chain, Thing, ThingKind};
-pub use workload::{
-    CityWorkload, HomeMonitoringWorkload, Patient, SensorReading, WorkloadEvent,
-};
+pub use workload::{CityWorkload, HomeMonitoringWorkload, Patient, SensorReading, WorkloadEvent};

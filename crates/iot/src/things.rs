@@ -129,18 +129,12 @@ impl Chain {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Chain {
-            name: name.into(),
-            stages: stages.into_iter().map(Into::into).collect(),
-        }
+        Chain { name: name.into(), stages: stages.into_iter().map(Into::into).collect() }
     }
 
     /// The consecutive `(from, to)` hops of the chain.
     pub fn hops(&self) -> Vec<(String, String)> {
-        self.stages
-            .windows(2)
-            .map(|w| (w[0].clone(), w[1].clone()))
-            .collect()
+        self.stages.windows(2).map(|w| (w[0].clone(), w[1].clone())).collect()
     }
 
     /// The number of hops (stages minus one, zero for degenerate chains).
@@ -156,10 +150,7 @@ impl Chain {
     /// A synthetic chain of `n` stages named `prefix-0 … prefix-(n-1)`, used by the
     /// chain-length experiments (E2).
     pub fn synthetic(prefix: &str, n: usize) -> Self {
-        Chain::new(
-            format!("{prefix}-chain"),
-            (0..n).map(|i| format!("{prefix}-{i}")),
-        )
+        Chain::new(format!("{prefix}-chain"), (0..n).map(|i| format!("{prefix}-{i}")))
     }
 }
 
@@ -197,10 +188,7 @@ mod tests {
 
     #[test]
     fn chain_hops_and_length() {
-        let chain = Chain::new(
-            "fig2",
-            ["home-manager", "gateway", "app", "db", "analyser"],
-        );
+        let chain = Chain::new("fig2", ["home-manager", "gateway", "app", "db", "analyser"]);
         assert_eq!(chain.len(), 4);
         assert!(!chain.is_empty());
         let hops = chain.hops();

@@ -120,10 +120,7 @@ impl HomeMonitoringWorkload {
         if patient.consent {
             integrity.push("consent".to_string());
         }
-        SecurityContext::from_names(
-            ["medical".to_string(), patient.name.clone()],
-            integrity,
-        )
+        SecurityContext::from_names(["medical".to_string(), patient.name.clone()], integrity)
     }
 
     /// The security context of a patient's hospital-based analyser (Fig. 4): requires
@@ -279,10 +276,7 @@ impl CityWorkload {
                         ThingKind::Sensor,
                         "city-council",
                         format!("district{d}-gateway"),
-                        SecurityContext::from_names(
-                            ["city", "movement"],
-                            ["council-dev"],
-                        ),
+                        SecurityContext::from_names(["city", "movement"], ["council-dev"]),
                     )
                     .produces("traffic-reading"),
                 );

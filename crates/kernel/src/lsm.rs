@@ -55,10 +55,7 @@ pub struct LsmHooks {
 impl LsmHooks {
     /// Creates a hook layer in the given mode.
     pub fn new(mode: EnforcementMode) -> Self {
-        LsmHooks {
-            mode: Some(mode),
-            stats: HookStats::default(),
-        }
+        LsmHooks { mode: Some(mode), stats: HookStats::default() }
     }
 
     /// The current mode.

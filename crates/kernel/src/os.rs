@@ -190,23 +190,19 @@ impl Os {
     pub fn spawn(&mut self, name: impl Into<String>, context: SecurityContext) -> ProcessId {
         let pid = ProcessId(self.next_pid);
         self.next_pid += 1;
-        self.processes.insert(
-            pid,
-            Process {
-                entity: Entity::active(name, context),
-            },
-        );
+        self.processes.insert(pid, Process { entity: Entity::active(name, context) });
         pid
     }
 
     /// Forks a process: the child inherits the parent's security context but none of
     /// its privileges (creation flow, §6).
-    pub fn fork(&mut self, parent: ProcessId, child_name: impl Into<String>) -> Result<ProcessId, KernelError> {
-        let parent_entity = &self
-            .processes
-            .get(&parent)
-            .ok_or(KernelError::UnknownProcess { pid: parent })?
-            .entity;
+    pub fn fork(
+        &mut self,
+        parent: ProcessId,
+        child_name: impl Into<String>,
+    ) -> Result<ProcessId, KernelError> {
+        let parent_entity =
+            &self.processes.get(&parent).ok_or(KernelError::UnknownProcess { pid: parent })?.entity;
         let child_entity = parent_entity.create_child(child_name, EntityKind::Active);
         let pid = ProcessId(self.next_pid);
         self.next_pid += 1;
@@ -222,10 +218,7 @@ impl Os {
         tag: Tag,
         kind: PrivilegeKind,
     ) -> Result<(), KernelError> {
-        let process = self
-            .processes
-            .get_mut(&pid)
-            .ok_or(KernelError::UnknownProcess { pid })?;
+        let process = self.processes.get_mut(&pid).ok_or(KernelError::UnknownProcess { pid })?;
         process.entity.privileges_mut().grant(tag, kind);
         Ok(())
     }
@@ -241,10 +234,7 @@ impl Os {
         remove_integrity: &[Tag],
         at_millis: u64,
     ) -> Result<(), KernelError> {
-        let process = self
-            .processes
-            .get_mut(&pid)
-            .ok_or(KernelError::UnknownProcess { pid })?;
+        let process = self.processes.get_mut(&pid).ok_or(KernelError::UnknownProcess { pid })?;
         let before = process.entity.context().clone();
         for t in add_secrecy {
             process.entity.add_secrecy_tag(t.clone())?;
@@ -261,12 +251,7 @@ impl Os {
         let after = process.entity.context().clone();
         let entity_name = process.entity.name().to_string();
         self.audit.record(
-            AuditEvent::LabelChanged {
-                entity: entity_name,
-                before,
-                after,
-                algorithm: None,
-            },
+            AuditEvent::LabelChanged { entity: entity_name, before, after, algorithm: None },
             at_millis,
         );
         Ok(())
@@ -346,17 +331,11 @@ impl Os {
         at_millis: u64,
     ) -> Result<SyscallOutcome, KernelError> {
         let (pname, pctx) = {
-            let p = self
-                .processes
-                .get(&pid)
-                .ok_or(KernelError::UnknownProcess { pid })?;
+            let p = self.processes.get(&pid).ok_or(KernelError::UnknownProcess { pid })?;
             (p.entity.name().to_string(), p.entity.context().clone())
         };
         let (oname, octx) = {
-            let o = self
-                .objects
-                .get(&object)
-                .ok_or(KernelError::UnknownObject { object })?;
+            let o = self.objects.get(&object).ok_or(KernelError::UnknownObject { object })?;
             (o.entity.name().to_string(), o.entity.context().clone())
         };
         Ok(self.flow_checked(pname, pctx, oname.clone(), octx, Some(oname), at_millis))
@@ -370,17 +349,11 @@ impl Os {
         at_millis: u64,
     ) -> Result<SyscallOutcome, KernelError> {
         let (pname, pctx) = {
-            let p = self
-                .processes
-                .get(&pid)
-                .ok_or(KernelError::UnknownProcess { pid })?;
+            let p = self.processes.get(&pid).ok_or(KernelError::UnknownProcess { pid })?;
             (p.entity.name().to_string(), p.entity.context().clone())
         };
         let (oname, octx) = {
-            let o = self
-                .objects
-                .get(&object)
-                .ok_or(KernelError::UnknownObject { object })?;
+            let o = self.objects.get(&object).ok_or(KernelError::UnknownObject { object })?;
             (o.entity.name().to_string(), o.entity.context().clone())
         };
         Ok(self.flow_checked(oname.clone(), octx, pname, pctx, Some(oname), at_millis))
@@ -395,17 +368,11 @@ impl Os {
         at_millis: u64,
     ) -> Result<SyscallOutcome, KernelError> {
         let (fname, fctx) = {
-            let p = self
-                .processes
-                .get(&from)
-                .ok_or(KernelError::UnknownProcess { pid: from })?;
+            let p = self.processes.get(&from).ok_or(KernelError::UnknownProcess { pid: from })?;
             (p.entity.name().to_string(), p.entity.context().clone())
         };
         let (tname, tctx) = {
-            let p = self
-                .processes
-                .get(&to)
-                .ok_or(KernelError::UnknownProcess { pid: to })?;
+            let p = self.processes.get(&to).ok_or(KernelError::UnknownProcess { pid: to })?;
             (p.entity.name().to_string(), p.entity.context().clone())
         };
         Ok(self.flow_checked(fname, fctx, tname, tctx, None, at_millis))
@@ -413,10 +380,7 @@ impl Os {
 
     /// The kind of a kernel object.
     pub fn object_kind(&self, object: KernelObjectId) -> Result<ObjectKind, KernelError> {
-        self.objects
-            .get(&object)
-            .map(|o| o.kind)
-            .ok_or(KernelError::UnknownObject { object })
+        self.objects.get(&object).map(|o| o.kind).ok_or(KernelError::UnknownObject { object })
     }
 
     /// Number of processes.
@@ -454,18 +418,14 @@ mod tests {
     fn fork_inherits_context_without_privileges() {
         let mut os = Os::new("node", EnforcementMode::Enforce);
         let parent = os.spawn("parent", medical_ctx());
-        os.grant_privilege(parent, Tag::new("ann"), PrivilegeKind::SecrecyRemove)
-            .unwrap();
+        os.grant_privilege(parent, Tag::new("ann"), PrivilegeKind::SecrecyRemove).unwrap();
         let child = os.fork(parent, "child").unwrap();
         assert_eq!(os.process_context(child).unwrap(), &medical_ctx());
         // The child cannot declassify: privileges were not inherited.
-        let err = os
-            .change_label(child, &[], &[Tag::new("ann")], &[], &[], 0)
-            .unwrap_err();
+        let err = os.change_label(child, &[], &[Tag::new("ann")], &[], &[], 0).unwrap_err();
         assert!(matches!(err, KernelError::Ifc(_)));
         // The parent can.
-        os.change_label(parent, &[], &[Tag::new("ann")], &[], &[], 0)
-            .unwrap();
+        os.change_label(parent, &[], &[Tag::new("ann")], &[], &[], 0).unwrap();
         assert!(!os.process_context(parent).unwrap().secrecy().contains_name("ann"));
     }
 
@@ -536,10 +496,7 @@ mod tests {
             os.read(p, KernelObjectId(99), 0),
             Err(KernelError::UnknownObject { .. })
         ));
-        assert!(matches!(
-            os.fork(ProcessId(99), "c"),
-            Err(KernelError::UnknownProcess { .. })
-        ));
+        assert!(matches!(os.fork(ProcessId(99), "c"), Err(KernelError::UnknownProcess { .. })));
         assert!(matches!(
             os.process_context(ProcessId(99)),
             Err(KernelError::UnknownProcess { .. })
@@ -569,32 +526,16 @@ mod tests {
 
         // The sanitiser starts in Zeb's context, reads, endorses itself, writes out.
         let sanitiser = os.spawn("sanitiser", zeb_ctx);
-        os.grant_privilege(sanitiser, Tag::new("hosp-dev"), PrivilegeKind::IntegrityAdd)
-            .unwrap();
-        os.grant_privilege(sanitiser, Tag::new("zeb-dev"), PrivilegeKind::IntegrityRemove)
-            .unwrap();
+        os.grant_privilege(sanitiser, Tag::new("hosp-dev"), PrivilegeKind::IntegrityAdd).unwrap();
+        os.grant_privilege(sanitiser, Tag::new("zeb-dev"), PrivilegeKind::IntegrityRemove).unwrap();
         assert!(os.read(sanitiser, raw, 2).unwrap().is_completed());
-        os.change_label(
-            sanitiser,
-            &[],
-            &[],
-            &[Tag::new("hosp-dev")],
-            &[Tag::new("zeb-dev")],
-            3,
-        )
-        .unwrap();
-        let standard = os
-            .create_object(sanitiser, "standard-reading", ObjectKind::File)
+        os.change_label(sanitiser, &[], &[], &[Tag::new("hosp-dev")], &[Tag::new("zeb-dev")], 3)
             .unwrap();
+        let standard = os.create_object(sanitiser, "standard-reading", ObjectKind::File).unwrap();
         assert!(os.write(sanitiser, standard, 4).unwrap().is_completed());
         assert!(os.read(analyser, standard, 5).unwrap().is_completed());
         // The label change is in the audit trail.
-        assert_eq!(
-            os.audit()
-                .of_kind(legaliot_audit::AuditEventKind::LabelChanged)
-                .count(),
-            1
-        );
+        assert_eq!(os.audit().of_kind(legaliot_audit::AuditEventKind::LabelChanged).count(), 1);
     }
 
     #[test]
@@ -611,9 +552,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(KernelError::UnknownProcess { pid: ProcessId(1) }
-            .to_string()
-            .contains("pid1"));
+        assert!(KernelError::UnknownProcess { pid: ProcessId(1) }.to_string().contains("pid1"));
         assert!(KernelError::UnknownObject { object: KernelObjectId(2) }
             .to_string()
             .contains("obj2"));

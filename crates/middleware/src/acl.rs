@@ -30,10 +30,7 @@ pub struct Principal {
 impl Principal {
     /// Creates a principal with no roles.
     pub fn new(name: impl Into<String>) -> Self {
-        Principal {
-            name: name.into(),
-            roles: Vec::new(),
-        }
+        Principal { name: name.into(), roles: Vec::new() }
     }
 
     /// Adds a role.
@@ -109,25 +106,17 @@ pub struct AccessRule {
 
 impl AccessRule {
     /// A rule allowing `subject` to perform `operation` on `message_type`.
-    pub fn allow(subject: Subject, operation: Operation, message_type: Option<MessageType>) -> Self {
-        AccessRule {
-            subject,
-            operation,
-            message_type,
-            condition: Condition::Always,
-            allow: true,
-        }
+    pub fn allow(
+        subject: Subject,
+        operation: Operation,
+        message_type: Option<MessageType>,
+    ) -> Self {
+        AccessRule { subject, operation, message_type, condition: Condition::Always, allow: true }
     }
 
     /// A rule denying `subject` the `operation` on `message_type`.
     pub fn deny(subject: Subject, operation: Operation, message_type: Option<MessageType>) -> Self {
-        AccessRule {
-            subject,
-            operation,
-            message_type,
-            condition: Condition::Always,
-            allow: false,
-        }
+        AccessRule { subject, operation, message_type, condition: Condition::Always, allow: false }
     }
 
     /// Restricts the rule to circumstances where `condition` holds.
@@ -349,10 +338,7 @@ mod tests {
     #[test]
     fn explicit_deny_overrides_allow() {
         let mut regime = AccessRegime::new();
-        regime.add_rule(
-            "device",
-            AccessRule::allow(Subject::Anyone, Operation::Send, None),
-        );
+        regime.add_rule("device", AccessRule::allow(Subject::Anyone, Operation::Send, None));
         regime.add_rule(
             "device",
             AccessRule::deny(Subject::Principal("mallory".into()), Operation::Send, None),
@@ -360,10 +346,24 @@ mod tests {
         let mallory = Principal::new("mallory");
         let alice = Principal::new("alice");
         assert!(!regime
-            .decide("device", &mallory, Operation::Send, None, &ContextSnapshot::default(), Timestamp::ZERO)
+            .decide(
+                "device",
+                &mallory,
+                Operation::Send,
+                None,
+                &ContextSnapshot::default(),
+                Timestamp::ZERO
+            )
             .is_allowed());
         assert!(regime
-            .decide("device", &alice, Operation::Send, None, &ContextSnapshot::default(), Timestamp::ZERO)
+            .decide(
+                "device",
+                &alice,
+                Operation::Send,
+                None,
+                &ContextSnapshot::default(),
+                Timestamp::ZERO
+            )
             .is_allowed());
     }
 
@@ -377,14 +377,35 @@ mod tests {
         let engine = Principal::new("hospital-engine").with_role("policy-engine");
         let attacker = Principal::new("attacker");
         assert!(regime
-            .decide("ann-sensor", &engine, Operation::Reconfigure, None, &ContextSnapshot::default(), Timestamp::ZERO)
+            .decide(
+                "ann-sensor",
+                &engine,
+                Operation::Reconfigure,
+                None,
+                &ContextSnapshot::default(),
+                Timestamp::ZERO
+            )
             .is_allowed());
         assert!(!regime
-            .decide("ann-sensor", &attacker, Operation::Reconfigure, None, &ContextSnapshot::default(), Timestamp::ZERO)
+            .decide(
+                "ann-sensor",
+                &attacker,
+                Operation::Reconfigure,
+                None,
+                &ContextSnapshot::default(),
+                Timestamp::ZERO
+            )
             .is_allowed());
         // Holding reconfigure rights does not imply send rights.
         assert!(!regime
-            .decide("ann-sensor", &engine, Operation::Send, None, &ContextSnapshot::default(), Timestamp::ZERO)
+            .decide(
+                "ann-sensor",
+                &engine,
+                Operation::Send,
+                None,
+                &ContextSnapshot::default(),
+                Timestamp::ZERO
+            )
             .is_allowed());
     }
 

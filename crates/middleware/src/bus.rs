@@ -196,10 +196,7 @@ impl Middleware {
 
     /// Number of currently open channels.
     pub fn open_channel_count(&self) -> usize {
-        self.channels
-            .values()
-            .filter(|s| **s == ChannelState::Open)
-            .count()
+        self.channels.values().filter(|s| **s == ChannelState::Open).count()
     }
 
     fn component(&self, name: &str) -> Result<&Component, MiddlewareError> {
@@ -230,14 +227,8 @@ impl Middleware {
         let outcome = if source.is_isolated() || destination.is_isolated() {
             DeliveryOutcome::Isolated
         } else {
-            let ac = self.access.decide(
-                to,
-                source.principal(),
-                Operation::Send,
-                None,
-                snapshot,
-                now,
-            );
+            let ac =
+                self.access.decide(to, source.principal(), Operation::Send, None, snapshot, now);
             if !ac.is_allowed() {
                 let reason = match ac {
                     crate::acl::AccessDecision::Denied { reason } => reason,
@@ -256,8 +247,7 @@ impl Middleware {
 
         let established = outcome.is_delivered();
         if established {
-            self.channels
-                .insert((from.to_string(), to.to_string()), ChannelState::Open);
+            self.channels.insert((from.to_string(), to.to_string()), ChannelState::Open);
         }
         self.audit.record(
             AuditEvent::ChannelChanged {
@@ -320,8 +310,7 @@ impl Middleware {
                 _ => false,
             };
             if !ok {
-                self.channels
-                    .insert((from.clone(), to.clone()), ChannelState::Closed);
+                self.channels.insert((from.clone(), to.clone()), ChannelState::Closed);
                 self.audit.record(
                     AuditEvent::ChannelChanged {
                         from: from.clone(),
@@ -436,10 +425,7 @@ impl Middleware {
 
     /// Drains the mailbox of a component.
     pub fn receive(&mut self, component: &str) -> Vec<Message> {
-        self.mailboxes
-            .get_mut(component)
-            .map(std::mem::take)
-            .unwrap_or_default()
+        self.mailboxes.get_mut(component).map(std::mem::take).unwrap_or_default()
     }
 
     /// Handles a third-party reconfiguration control message (Fig. 8): authorises it
@@ -526,18 +512,12 @@ impl Middleware {
                     }
                 }
                 let target = self.registry.get_mut(&message.target).expect("checked above");
-                target
-                    .entity_mut()
-                    .privileges_mut()
-                    .grant(privilege.tag.clone(), privilege.kind);
+                target.entity_mut().privileges_mut().grant(privilege.tag.clone(), privilege.kind);
                 ControlOutcome::Applied
             }
             ReconfigureOp::RevokePrivilege { privilege } => {
                 let target = self.registry.get_mut(&message.target).expect("checked above");
-                target
-                    .entity_mut()
-                    .privileges_mut()
-                    .revoke(&privilege.tag, privilege.kind);
+                target.entity_mut().privileges_mut().revoke(&privilege.tag, privilege.kind);
                 ControlOutcome::Applied
             }
             ReconfigureOp::Connect { to } => {
@@ -609,7 +589,11 @@ mod tests {
         for (name, owner, ctx) in [
             ("ann-sensor", "ann", medical_ctx("ann")),
             ("ann-analyser", "hospital", medical_ctx("ann")),
-            ("zeb-sensor", "zeb", SecurityContext::from_names(["medical", "zeb"], ["zeb-dev", "consent"])),
+            (
+                "zeb-sensor",
+                "zeb",
+                SecurityContext::from_names(["medical", "zeb"], ["zeb-dev", "consent"]),
+            ),
             ("zeb-analyser", "hospital", medical_ctx("zeb")),
         ] {
             mw.registry_mut().register(
@@ -621,13 +605,15 @@ mod tests {
             );
         }
         for target in ["ann-sensor", "ann-analyser", "zeb-sensor", "zeb-analyser"] {
+            mw.access_mut()
+                .add_rule(target, AccessRule::allow(Subject::Anyone, Operation::Send, None));
             mw.access_mut().add_rule(
                 target,
-                AccessRule::allow(Subject::Anyone, Operation::Send, None),
-            );
-            mw.access_mut().add_rule(
-                target,
-                AccessRule::allow(Subject::Role("policy-engine".into()), Operation::Reconfigure, None),
+                AccessRule::allow(
+                    Subject::Role("policy-engine".into()),
+                    Operation::Reconfigure,
+                    None,
+                ),
             );
         }
         mw
@@ -641,15 +627,13 @@ mod tests {
     fn channel_establishment_checks_ac_then_ifc() {
         let mut mw = home_monitoring();
         // Ann's sensor → Ann's analyser: allowed (Fig. 4, legal flow).
-        let outcome = mw
-            .establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1))
-            .unwrap();
+        let outcome =
+            mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
         assert!(outcome.is_delivered());
         assert!(mw.has_open_channel("ann-sensor", "ann-analyser"));
         // Zeb's sensor → Ann's analyser: denied by IFC (Fig. 4, illegal flow).
-        let outcome = mw
-            .establish_channel("zeb-sensor", "ann-analyser", &snap(), Timestamp(2))
-            .unwrap();
+        let outcome =
+            mw.establish_channel("zeb-sensor", "ann-analyser", &snap(), Timestamp(2)).unwrap();
         assert!(matches!(outcome, DeliveryOutcome::DeniedByIfc(_)));
         assert!(!mw.has_open_channel("zeb-sensor", "ann-analyser"));
         // Both attempts are audited.
@@ -663,13 +647,9 @@ mod tests {
         let mut mw = home_monitoring();
         // A component with no AC rules at all is default-deny.
         mw.registry_mut().register(
-            Component::builder("locked", Principal::new("x"))
-                .context(medical_ctx("ann"))
-                .build(),
+            Component::builder("locked", Principal::new("x")).context(medical_ctx("ann")).build(),
         );
-        let outcome = mw
-            .establish_channel("ann-sensor", "locked", &snap(), Timestamp(1))
-            .unwrap();
+        let outcome = mw.establish_channel("ann-sensor", "locked", &snap(), Timestamp(1)).unwrap();
         assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
     }
 
@@ -684,9 +664,8 @@ mod tests {
             DeliveryOutcome::NoChannel
         );
         mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(2)).unwrap();
-        let outcome = mw
-            .send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(3))
-            .unwrap();
+        let outcome =
+            mw.send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(3)).unwrap();
         assert!(outcome.is_delivered());
         let inbox = mw.receive("ann-analyser");
         assert_eq!(inbox.len(), 1);
@@ -704,15 +683,17 @@ mod tests {
         mw.registry_mut().register_schema(
             MessageSchema::new("sensor-reading")
                 .attribute("value", AttributeKind::Float)
-                .sensitive_attribute("patient-name", AttributeKind::Text, Label::from_names(["identity"])),
+                .sensitive_attribute(
+                    "patient-name",
+                    AttributeKind::Text,
+                    Label::from_names(["identity"]),
+                ),
         );
         mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
         let msg = Message::new("sensor-reading", SecurityContext::public())
             .with("value", AttributeValue::Float(72.0))
             .with("patient-name", AttributeValue::Text("Ann".into()));
-        let outcome = mw
-            .send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(2))
-            .unwrap();
+        let outcome = mw.send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(2)).unwrap();
         match &outcome {
             DeliveryOutcome::Delivered { quenched_attributes } => {
                 assert_eq!(quenched_attributes, &vec!["patient-name".to_string()]);
@@ -732,17 +713,13 @@ mod tests {
                 ))
                 .build(),
         );
-        mw.access_mut().add_rule(
-            "identity-vault",
-            AccessRule::allow(Subject::Anyone, Operation::Send, None),
-        );
+        mw.access_mut()
+            .add_rule("identity-vault", AccessRule::allow(Subject::Anyone, Operation::Send, None));
         mw.establish_channel("ann-sensor", "identity-vault", &snap(), Timestamp(3)).unwrap();
         let msg = Message::new("sensor-reading", SecurityContext::public())
             .with("value", AttributeValue::Float(72.0))
             .with("patient-name", AttributeValue::Text("Ann".into()));
-        let outcome = mw
-            .send("ann-sensor", "identity-vault", msg, &snap(), Timestamp(4))
-            .unwrap();
+        let outcome = mw.send("ann-sensor", "identity-vault", msg, &snap(), Timestamp(4)).unwrap();
         assert_eq!(outcome, DeliveryOutcome::Delivered { quenched_attributes: vec![] });
         assert!(mw.receive("identity-vault")[0].attributes.contains_key("patient-name"));
     }
@@ -756,9 +733,7 @@ mod tests {
         mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
         let bad = Message::new("sensor-reading", SecurityContext::public())
             .with("value", AttributeValue::Text("not a number".into()));
-        let outcome = mw
-            .send("ann-sensor", "ann-analyser", bad, &snap(), Timestamp(2))
-            .unwrap();
+        let outcome = mw.send("ann-sensor", "ann-analyser", bad, &snap(), Timestamp(2)).unwrap();
         assert!(matches!(outcome, DeliveryOutcome::SchemaViolation { .. }));
     }
 
@@ -788,22 +763,15 @@ mod tests {
         assert!(mw.has_open_channel("ann-analyser", "emergency-doctor"));
 
         // An unauthorised issuer is refused and audited as rejected.
-        let rogue = ControlMessage::new(
-            "ann-analyser",
-            ReconfigureOp::Isolate,
-            "attacker",
-            "none",
-            11,
-        );
+        let rogue =
+            ControlMessage::new("ann-analyser", ReconfigureOp::Isolate, "attacker", "none", 11);
         // The attacker principal does not hold the policy-engine role rule? It does get
         // the role in handle_control, but the rule requires Reconfigure on the target,
         // which "attacker" satisfies via the role. Tighten: restrict reconfiguration of
         // the analyser to the named engine.
         mw.access_mut().clear_component("ann-analyser");
-        mw.access_mut().add_rule(
-            "ann-analyser",
-            AccessRule::allow(Subject::Anyone, Operation::Send, None),
-        );
+        mw.access_mut()
+            .add_rule("ann-analyser", AccessRule::allow(Subject::Anyone, Operation::Send, None));
         mw.access_mut().add_rule(
             "ann-analyser",
             AccessRule::allow(
@@ -815,15 +783,14 @@ mod tests {
         let outcome = mw.handle_control(&rogue, &snap(), Timestamp(11));
         assert!(matches!(outcome, ControlOutcome::Unauthorised { .. }));
         // Unknown targets are reported.
-        let ghost = ControlMessage::new("ghost", ReconfigureOp::Isolate, "hospital-engine", "p", 12);
-        assert_eq!(mw.handle_control(&ghost, &snap(), Timestamp(12)), ControlOutcome::UnknownTarget);
-        // All three control messages are in the audit log.
+        let ghost =
+            ControlMessage::new("ghost", ReconfigureOp::Isolate, "hospital-engine", "p", 12);
         assert_eq!(
-            mw.audit()
-                .of_kind(legaliot_audit::AuditEventKind::Reconfigured)
-                .count(),
-            3
+            mw.handle_control(&ghost, &snap(), Timestamp(12)),
+            ControlOutcome::UnknownTarget
         );
+        // All three control messages are in the audit log.
+        assert_eq!(mw.audit().of_kind(legaliot_audit::AuditEventKind::Reconfigured).count(), 3);
     }
 
     #[test]
@@ -849,7 +816,8 @@ mod tests {
     fn isolation_blocks_channels_and_sends() {
         let mut mw = home_monitoring();
         mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
-        let cm = ControlMessage::new("ann-sensor", ReconfigureOp::Isolate, "hospital-engine", "p", 2);
+        let cm =
+            ControlMessage::new("ann-sensor", ReconfigureOp::Isolate, "hospital-engine", "p", 2);
         assert!(mw.handle_control(&cm, &snap(), Timestamp(2)).is_applied());
         // Open channels involving the isolated component were closed.
         assert_eq!(mw.open_channel_count(), 0);
@@ -859,12 +827,12 @@ mod tests {
             DeliveryOutcome::NoChannel
         );
         // New channels are refused while isolated.
-        let outcome = mw
-            .establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(4))
-            .unwrap();
+        let outcome =
+            mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(4)).unwrap();
         assert_eq!(outcome, DeliveryOutcome::Isolated);
         // Deisolation restores the ability to connect.
-        let cm = ControlMessage::new("ann-sensor", ReconfigureOp::Deisolate, "hospital-engine", "p", 5);
+        let cm =
+            ControlMessage::new("ann-sensor", ReconfigureOp::Deisolate, "hospital-engine", "p", 5);
         assert!(mw.handle_control(&cm, &snap(), Timestamp(5)).is_applied());
         assert!(mw
             .establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(6))
@@ -876,7 +844,13 @@ mod tests {
     fn privilege_grant_requires_tag_ownership() {
         let mut mw = home_monitoring();
         mw.tag_registry_mut()
-            .register(Tag::new("medical"), "medical data", TagScope::Global, true, "hospital-engine")
+            .register(
+                Tag::new("medical"),
+                "medical data",
+                TagScope::Global,
+                true,
+                "hospital-engine",
+            )
             .unwrap();
         mw.tag_registry_mut()
             .register(Tag::new("city"), "city data", TagScope::Global, false, "council")
@@ -885,7 +859,10 @@ mod tests {
         let ok = ControlMessage::new(
             "ann-analyser",
             ReconfigureOp::GrantPrivilege {
-                privilege: legaliot_ifc::Privilege::new("medical", legaliot_ifc::PrivilegeKind::SecrecyRemove),
+                privilege: legaliot_ifc::Privilege::new(
+                    "medical",
+                    legaliot_ifc::PrivilegeKind::SecrecyRemove,
+                ),
             },
             "hospital-engine",
             "p",
@@ -902,7 +879,10 @@ mod tests {
         let bad = ControlMessage::new(
             "ann-analyser",
             ReconfigureOp::GrantPrivilege {
-                privilege: legaliot_ifc::Privilege::new("city", legaliot_ifc::PrivilegeKind::SecrecyRemove),
+                privilege: legaliot_ifc::Privilege::new(
+                    "city",
+                    legaliot_ifc::PrivilegeKind::SecrecyRemove,
+                ),
             },
             "hospital-engine",
             "p",
@@ -916,7 +896,10 @@ mod tests {
         let revoke = ControlMessage::new(
             "ann-analyser",
             ReconfigureOp::RevokePrivilege {
-                privilege: legaliot_ifc::Privilege::new("medical", legaliot_ifc::PrivilegeKind::SecrecyRemove),
+                privilege: legaliot_ifc::Privilege::new(
+                    "medical",
+                    legaliot_ifc::PrivilegeKind::SecrecyRemove,
+                ),
             },
             "hospital-engine",
             "p",
@@ -931,7 +914,10 @@ mod tests {
         let notify = ReconfigurationCommand::new(
             "emergency-response",
             "hospital-engine",
-            legaliot_policy::Action::Notify { recipient: "emergency-doctor".into(), message: "go".into() },
+            legaliot_policy::Action::Notify {
+                recipient: "emergency-doctor".into(),
+                message: "go".into(),
+            },
             1,
         );
         assert!(mw.apply_command(&notify, &snap(), Timestamp(1)).is_empty());
@@ -940,13 +926,19 @@ mod tests {
         let actuate = ReconfigurationCommand::new(
             "emergency-response",
             "hospital-engine",
-            legaliot_policy::Action::Actuate { component: "ann-sensor".into(), command: "sample-interval=1s".into() },
+            legaliot_policy::Action::Actuate {
+                component: "ann-sensor".into(),
+                command: "sample-interval=1s".into(),
+            },
             2,
         );
         let outcomes = mw.apply_command(&actuate, &snap(), Timestamp(2));
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].is_applied());
-        assert_eq!(mw.actuations(), &[("ann-sensor".to_string(), "sample-interval=1s".to_string())]);
+        assert_eq!(
+            mw.actuations(),
+            &[("ann-sensor".to_string(), "sample-interval=1s".to_string())]
+        );
     }
 
     #[test]
@@ -958,8 +950,6 @@ mod tests {
         assert_eq!(channels.len(), 1);
         assert_eq!(channels[0].state, ChannelState::Closed);
         assert!(!DeliveryOutcome::NoChannel.is_delivered());
-        assert!(MiddlewareError::UnknownComponent { name: "x".into() }
-            .to_string()
-            .contains("x"));
+        assert!(MiddlewareError::UnknownComponent { name: "x".into() }.to_string().contains("x"));
     }
 }

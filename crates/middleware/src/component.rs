@@ -221,9 +221,7 @@ impl Registry {
         &'a self,
         message_type: &'a MessageType,
     ) -> impl Iterator<Item = &'a Component> + 'a {
-        self.components
-            .values()
-            .filter(move |c| c.produces().contains(message_type))
+        self.components.values().filter(move |c| c.produces().contains(message_type))
     }
 
     /// Components that consume the given message type.
@@ -231,9 +229,7 @@ impl Registry {
         &'a self,
         message_type: &'a MessageType,
     ) -> impl Iterator<Item = &'a Component> + 'a {
-        self.components
-            .values()
-            .filter(move |c| c.consumes().contains(message_type))
+        self.components.values().filter(move |c| c.consumes().contains(message_type))
     }
 }
 

@@ -71,16 +71,12 @@ impl fmt::Display for ReconfigureOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReconfigureOp::SetContext { context } => write!(f, "set-context {context}"),
-            ReconfigureOp::AddTag { tag, secrecy } => write!(
-                f,
-                "add-{}-tag {tag}",
-                if *secrecy { "secrecy" } else { "integrity" }
-            ),
-            ReconfigureOp::RemoveTag { tag, secrecy } => write!(
-                f,
-                "remove-{}-tag {tag}",
-                if *secrecy { "secrecy" } else { "integrity" }
-            ),
+            ReconfigureOp::AddTag { tag, secrecy } => {
+                write!(f, "add-{}-tag {tag}", if *secrecy { "secrecy" } else { "integrity" })
+            }
+            ReconfigureOp::RemoveTag { tag, secrecy } => {
+                write!(f, "remove-{}-tag {tag}", if *secrecy { "secrecy" } else { "integrity" })
+            }
             ReconfigureOp::GrantPrivilege { privilege } => write!(f, "grant {privilege}"),
             ReconfigureOp::RevokePrivilege { privilege } => write!(f, "revoke {privilege}"),
             ReconfigureOp::Connect { to } => write!(f, "connect-to {to}"),
@@ -148,7 +144,10 @@ impl ControlMessage {
                 vec![mk(component, ReconfigureOp::AddTag { tag: tag.clone(), secrecy: *secrecy })]
             }
             Action::RemoveTag { component, tag, secrecy } => {
-                vec![mk(component, ReconfigureOp::RemoveTag { tag: tag.clone(), secrecy: *secrecy })]
+                vec![mk(
+                    component,
+                    ReconfigureOp::RemoveTag { tag: tag.clone(), secrecy: *secrecy },
+                )]
             }
             Action::GrantPrivilege { component, privilege } => {
                 vec![mk(component, ReconfigureOp::GrantPrivilege { privilege: privilege.clone() })]
@@ -171,7 +170,9 @@ impl ControlMessage {
             Action::Actuate { component, command: cmd } => {
                 vec![mk(component, ReconfigureOp::Actuate { command: cmd.clone() })]
             }
-            Action::AllowFlow { .. } | Action::DenyFlow { .. } | Action::Notify { .. } => Vec::new(),
+            Action::AllowFlow { .. } | Action::DenyFlow { .. } | Action::Notify { .. } => {
+                Vec::new()
+            }
         }
     }
 }
@@ -251,7 +252,11 @@ mod tests {
         let cmd = ReconfigurationCommand::new(
             "anonymise",
             "hospital",
-            Action::RouteVia { from: "records".into(), via: "anonymiser".into(), to: "analytics".into() },
+            Action::RouteVia {
+                from: "records".into(),
+                via: "anonymiser".into(),
+                to: "analytics".into(),
+            },
             0,
         );
         let msgs = ControlMessage::from_command(&cmd);
@@ -276,7 +281,10 @@ mod tests {
     #[test]
     fn all_ops_translate_and_display() {
         let ops = vec![
-            Action::SetSecurityContext { component: "c".into(), context: SecurityContext::public() },
+            Action::SetSecurityContext {
+                component: "c".into(),
+                context: SecurityContext::public(),
+            },
             Action::AddTag { component: "c".into(), tag: Tag::new("t"), secrecy: true },
             Action::RemoveTag { component: "c".into(), tag: Tag::new("t"), secrecy: false },
             Action::GrantPrivilege {

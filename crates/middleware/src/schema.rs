@@ -231,13 +231,10 @@ mod tests {
     }
 
     fn reading_message() -> Message {
-        Message::new(
-            "sensor-reading",
-            SecurityContext::from_names(["medical"], Vec::<&str>::new()),
-        )
-        .with("value", AttributeValue::Float(72.0))
-        .with("unit", AttributeValue::Text("bpm".into()))
-        .with("patient-name", AttributeValue::Text("Ann".into()))
+        Message::new("sensor-reading", SecurityContext::from_names(["medical"], Vec::<&str>::new()))
+            .with("value", AttributeValue::Float(72.0))
+            .with("unit", AttributeValue::Text("bpm".into()))
+            .with("patient-name", AttributeValue::Text("Ann".into()))
     }
 
     #[test]
@@ -260,19 +257,13 @@ mod tests {
         assert!(schema.validate(&undeclared).unwrap_err().contains("undeclared"));
 
         let wrong_msg_type = Message::new("other", SecurityContext::public());
-        assert!(schema
-            .validate(&wrong_msg_type)
-            .unwrap_err()
-            .contains("does not match"));
+        assert!(schema.validate(&wrong_msg_type).unwrap_err().contains("does not match"));
     }
 
     #[test]
     fn sensitive_attributes_carry_extra_labels() {
         let schema = reading_schema();
-        assert_eq!(
-            schema.attribute_label("patient-name"),
-            Some(&Label::from_names(["identity"]))
-        );
+        assert_eq!(schema.attribute_label("patient-name"), Some(&Label::from_names(["identity"])));
         assert!(schema.attribute_label("value").is_none());
     }
 

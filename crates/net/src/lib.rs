@@ -16,6 +16,4 @@
 
 pub mod sim;
 
-pub use sim::{
-    AdminDomain, Delivery, Link, NetError, Network, NodeId, NodeInfo, NodeKind, Wire,
-};
+pub use sim::{AdminDomain, Delivery, Link, NetError, Network, NodeId, NodeInfo, NodeKind, Wire};

@@ -221,9 +221,7 @@ impl Network {
     }
 
     fn check_node(&self, id: NodeId) -> Result<&NodeInfo, NetError> {
-        self.nodes
-            .get(id.0 as usize)
-            .ok_or(NetError::UnknownNode { id })
+        self.nodes.get(id.0 as usize).ok_or(NetError::UnknownNode { id })
     }
 
     /// Looks up a node id by name.
@@ -359,10 +357,7 @@ impl Network {
 
     /// Drains the mailbox of a node.
     pub fn receive(&mut self, node: NodeId) -> Vec<Delivery> {
-        self.mailboxes
-            .get_mut(&node)
-            .map(std::mem::take)
-            .unwrap_or_default()
+        self.mailboxes.get_mut(&node).map(std::mem::take).unwrap_or_default()
     }
 
     /// Number of messages currently in flight.
@@ -429,10 +424,7 @@ mod tests {
         assert!(net.route_latency(a, b).is_ok());
         net.set_node_up(b, false).unwrap();
         assert!(matches!(net.route_latency(a, b), Err(NetError::NodeDown { .. })));
-        assert!(matches!(
-            net.route_latency(NodeId(99), a),
-            Err(NetError::UnknownNode { .. })
-        ));
+        assert!(matches!(net.route_latency(NodeId(99), a), Err(NetError::UnknownNode { .. })));
     }
 
     #[test]

@@ -217,11 +217,7 @@ impl ReconfigurationCommand {
 
 impl fmt::Display for ReconfigurationCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{} by {}] {}",
-            self.issued_by_policy, self.authority, self.action
-        )
+        write!(f, "[{} by {}] {}", self.issued_by_policy, self.authority, self.action)
     }
 }
 
@@ -232,14 +228,8 @@ mod tests {
 
     #[test]
     fn targets() {
-        assert_eq!(
-            Action::Isolate { component: "rogue".into() }.target(),
-            Some("rogue")
-        );
-        assert_eq!(
-            Action::Connect { from: "a".into(), to: "b".into() }.target(),
-            Some("a")
-        );
+        assert_eq!(Action::Isolate { component: "rogue".into() }.target(), Some("rogue"));
+        assert_eq!(Action::Connect { from: "a".into(), to: "b".into() }.target(), Some("a"));
         assert_eq!(
             Action::Notify { recipient: "doctor".into(), message: "m".into() }.target(),
             None
@@ -252,12 +242,8 @@ mod tests {
 
     #[test]
     fn security_regime_classification() {
-        assert!(Action::AddTag {
-            component: "c".into(),
-            tag: Tag::new("medical"),
-            secrecy: true
-        }
-        .is_security_regime_change());
+        assert!(Action::AddTag { component: "c".into(), tag: Tag::new("medical"), secrecy: true }
+            .is_security_regime_change());
         assert!(Action::GrantPrivilege {
             component: "c".into(),
             privilege: Privilege::new("medical", PrivilegeKind::SecrecyRemove),

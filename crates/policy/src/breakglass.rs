@@ -79,11 +79,7 @@ pub struct BreakGlass {
 
 impl BreakGlass {
     /// Defines a new, armed break-glass override.
-    pub fn new(
-        id: impl Into<String>,
-        authority: impl Into<String>,
-        duration_millis: u64,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, authority: impl Into<String>, duration_millis: u64) -> Self {
         BreakGlass {
             id: PolicyId::new(id),
             authority: authority.into(),
@@ -127,9 +123,8 @@ impl BreakGlass {
         if self.is_active(now) {
             return Err(format!("break-glass {} is already active", self.id));
         }
-        self.state = BreakGlassState::Active {
-            expires_at_millis: now.as_millis() + self.duration_millis,
-        };
+        self.state =
+            BreakGlassState::Active { expires_at_millis: now.as_millis() + self.duration_millis };
         self.justification = Some(justification);
         Ok(self.emergency_actions.clone())
     }

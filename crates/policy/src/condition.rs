@@ -89,34 +89,22 @@ impl Condition {
 
     /// Shorthand for [`Condition::TextEquals`].
     pub fn text_equals(key: impl Into<String>, value: impl Into<String>) -> Self {
-        Condition::TextEquals {
-            key: key.into(),
-            value: value.into(),
-        }
+        Condition::TextEquals { key: key.into(), value: value.into() }
     }
 
     /// Shorthand for [`Condition::NumberAtLeast`].
     pub fn number_at_least(key: impl Into<String>, threshold: f64) -> Self {
-        Condition::NumberAtLeast {
-            key: key.into(),
-            threshold,
-        }
+        Condition::NumberAtLeast { key: key.into(), threshold }
     }
 
     /// Shorthand for [`Condition::NumberBelow`].
     pub fn number_below(key: impl Into<String>, threshold: f64) -> Self {
-        Condition::NumberBelow {
-            key: key.into(),
-            threshold,
-        }
+        Condition::NumberBelow { key: key.into(), threshold }
     }
 
     /// Shorthand for [`Condition::WithinTime`].
     pub fn within_time(start_millis: u64, end_millis: u64) -> Self {
-        Condition::WithinTime {
-            start_millis,
-            end_millis,
-        }
+        Condition::WithinTime { start_millis, end_millis }
     }
 
     /// Conjunction with another condition.
@@ -168,10 +156,9 @@ impl Condition {
                 .and_then(ContextValue::as_number)
                 .map(|n| n < *threshold)
                 .unwrap_or(false),
-            Condition::WithinTime {
-                start_millis,
-                end_millis,
-            } => now.as_millis() >= *start_millis && now.as_millis() < *end_millis,
+            Condition::WithinTime { start_millis, end_millis } => {
+                now.as_millis() >= *start_millis && now.as_millis() < *end_millis
+            }
             Condition::Not(inner) => !inner.evaluate(snapshot, now),
             Condition::All(cs) => cs.iter().all(|c| c.evaluate(snapshot, now)),
             Condition::Any(cs) => cs.iter().any(|c| c.evaluate(snapshot, now)),
@@ -206,10 +193,9 @@ impl fmt::Display for Condition {
             Condition::TextEquals { key, value } => write!(f, "{key} == \"{value}\""),
             Condition::NumberAtLeast { key, threshold } => write!(f, "{key} >= {threshold}"),
             Condition::NumberBelow { key, threshold } => write!(f, "{key} < {threshold}"),
-            Condition::WithinTime {
-                start_millis,
-                end_millis,
-            } => write!(f, "time in [{start_millis}, {end_millis})"),
+            Condition::WithinTime { start_millis, end_millis } => {
+                write!(f, "time in [{start_millis}, {end_millis})")
+            }
             Condition::Not(inner) => write!(f, "!({inner})"),
             Condition::All(cs) => {
                 write!(f, "(")?;
@@ -292,12 +278,14 @@ mod tests {
         assert!(Condition::All(vec![]).evaluate(&s, t));
         assert!(!Condition::Any(vec![]).evaluate(&s, t));
         // Chaining `and`/`or` flattens into the same variant.
-        let chained = Condition::is_true("a").and(Condition::is_true("b")).and(Condition::is_true("c"));
+        let chained =
+            Condition::is_true("a").and(Condition::is_true("b")).and(Condition::is_true("c"));
         match chained {
             Condition::All(v) => assert_eq!(v.len(), 3),
             other => panic!("expected All, got {other:?}"),
         }
-        let chained = Condition::is_true("a").or(Condition::is_true("b")).or(Condition::is_true("c"));
+        let chained =
+            Condition::is_true("a").or(Condition::is_true("b")).or(Condition::is_true("c"));
         match chained {
             Condition::Any(v) => assert_eq!(v.len(), 3),
             other => panic!("expected Any, got {other:?}"),

@@ -99,12 +99,14 @@ fn conflict_subject(a: &Action, b: &Action) -> Option<String> {
         {
             Some(component.clone())
         }
-        (AddTag { component: c1, tag: t1, secrecy: s1 }, RemoveTag { component: c2, tag: t2, secrecy: s2 })
-        | (RemoveTag { component: c1, tag: t1, secrecy: s1 }, AddTag { component: c2, tag: t2, secrecy: s2 })
-            if c1 == c2 && t1 == t2 && s1 == s2 =>
-        {
-            Some(format!("{c1}:{t1}"))
-        }
+        (
+            AddTag { component: c1, tag: t1, secrecy: s1 },
+            RemoveTag { component: c2, tag: t2, secrecy: s2 },
+        )
+        | (
+            RemoveTag { component: c1, tag: t1, secrecy: s1 },
+            AddTag { component: c2, tag: t2, secrecy: s2 },
+        ) if c1 == c2 && t1 == t2 && s1 == s2 => Some(format!("{c1}:{t1}")),
         (
             GrantPrivilege { component: c1, privilege: p1 },
             RevokePrivilege { component: c2, privilege: p2 },
@@ -182,10 +184,10 @@ impl ConflictResolver {
                     }
                 }
                 ResolutionStrategy::PermitOverrides => {
+                    // The permissive command wins; with two permissive
+                    // commands, the earlier one is kept.
                     if is_restrictive(&commands[i].action) {
                         i
-                    } else if is_restrictive(&commands[j].action) {
-                        j
                     } else {
                         j
                     }
@@ -208,12 +210,7 @@ impl ConflictResolver {
             };
             dropped[loser] = true;
         }
-        commands
-            .into_iter()
-            .enumerate()
-            .filter(|(idx, _)| !dropped[*idx])
-            .map(|(_, c)| c)
-            .collect()
+        commands.into_iter().enumerate().filter(|(idx, _)| !dropped[*idx]).map(|(_, c)| c).collect()
     }
 }
 
@@ -229,10 +226,7 @@ mod tests {
     }
 
     fn rule(id: &str, priority: PolicyPriority) -> PolicyRule {
-        PolicyRule::builder(id, "auth")
-            .when(Condition::Always)
-            .priority(priority)
-            .build()
+        PolicyRule::builder(id, "auth").when(Condition::Always).priority(priority).build()
     }
 
     #[test]
@@ -314,8 +308,18 @@ mod tests {
     fn tag_and_privilege_conflicts() {
         let resolver = ConflictResolver::new(ResolutionStrategy::DenyOverrides);
         let commands = vec![
-            cmd("p1", Action::AddTag { component: "c".into(), tag: Tag::new("medical"), secrecy: true }),
-            cmd("p2", Action::RemoveTag { component: "c".into(), tag: Tag::new("medical"), secrecy: true }),
+            cmd(
+                "p1",
+                Action::AddTag { component: "c".into(), tag: Tag::new("medical"), secrecy: true },
+            ),
+            cmd(
+                "p2",
+                Action::RemoveTag {
+                    component: "c".into(),
+                    tag: Tag::new("medical"),
+                    secrecy: true,
+                },
+            ),
             cmd(
                 "p3",
                 Action::GrantPrivilege {
@@ -332,10 +336,8 @@ mod tests {
             ),
         ];
         assert_eq!(resolver.detect(&commands).len(), 2);
-        let rules: Vec<PolicyRule> = ["p1", "p2", "p3", "p4"]
-            .iter()
-            .map(|id| rule(id, PolicyPriority::NORMAL))
-            .collect();
+        let rules: Vec<PolicyRule> =
+            ["p1", "p2", "p3", "p4"].iter().map(|id| rule(id, PolicyPriority::NORMAL)).collect();
         let rule_refs: Vec<&PolicyRule> = rules.iter().collect();
         let out = resolver.resolve(&rule_refs, commands);
         assert_eq!(out.len(), 2);

@@ -110,7 +110,9 @@ impl fmt::Display for PolicyEvent {
                 "flow-attempted({from} -> {to}, {})",
                 if *allowed { "allowed" } else { "denied" }
             ),
-            PolicyEvent::ComponentJoined { component } => write!(f, "component-joined({component})"),
+            PolicyEvent::ComponentJoined { component } => {
+                write!(f, "component-joined({component})")
+            }
             PolicyEvent::ComponentLeft { component } => write!(f, "component-left({component})"),
             PolicyEvent::Tick => write!(f, "tick"),
         }
@@ -148,9 +150,10 @@ impl Trigger {
             (Trigger::OnContextKey { key }, PolicyEvent::ContextChanged { key: changed }) => {
                 key == changed
             }
-            (Trigger::OnFlowAttempt { denied_only }, PolicyEvent::FlowAttempted { allowed, .. }) => {
-                !*denied_only || !*allowed
-            }
+            (
+                Trigger::OnFlowAttempt { denied_only },
+                PolicyEvent::FlowAttempted { allowed, .. },
+            ) => !*denied_only || !*allowed,
             (Trigger::OnComponentJoined, PolicyEvent::ComponentJoined { .. }) => true,
             (Trigger::OnComponentLeft, PolicyEvent::ComponentLeft { .. }) => true,
             (Trigger::OnTick, PolicyEvent::Tick) => true,
@@ -345,8 +348,10 @@ mod tests {
     fn trigger_matching() {
         let ctx_event = PolicyEvent::ContextChanged { key: "patient.hr".into() };
         let other_ctx = PolicyEvent::ContextChanged { key: "other".into() };
-        let denied_flow = PolicyEvent::FlowAttempted { from: "a".into(), to: "b".into(), allowed: false };
-        let allowed_flow = PolicyEvent::FlowAttempted { from: "a".into(), to: "b".into(), allowed: true };
+        let denied_flow =
+            PolicyEvent::FlowAttempted { from: "a".into(), to: "b".into(), allowed: false };
+        let allowed_flow =
+            PolicyEvent::FlowAttempted { from: "a".into(), to: "b".into(), allowed: true };
         let joined = PolicyEvent::ComponentJoined { component: "c".into() };
         let left = PolicyEvent::ComponentLeft { component: "c".into() };
 
@@ -373,19 +378,12 @@ mod tests {
     #[test]
     fn event_class_and_display() {
         assert_eq!(PolicyEvent::Tick.class(), "tick");
-        assert_eq!(
-            PolicyEvent::ContextChanged { key: "k".into() }.class(),
-            "context-changed"
-        );
+        assert_eq!(PolicyEvent::ContextChanged { key: "k".into() }.class(), "context-changed");
         assert!(PolicyEvent::FlowAttempted { from: "a".into(), to: "b".into(), allowed: false }
             .to_string()
             .contains("denied"));
-        assert!(PolicyEvent::ComponentJoined { component: "c".into() }
-            .to_string()
-            .contains("c"));
-        assert!(PolicyEvent::ComponentLeft { component: "c".into() }
-            .to_string()
-            .contains("c"));
+        assert!(PolicyEvent::ComponentJoined { component: "c".into() }.to_string().contains("c"));
+        assert!(PolicyEvent::ComponentLeft { component: "c".into() }.to_string().contains("c"));
     }
 
     #[test]

@@ -146,12 +146,7 @@ impl PolicyEngine {
         let commands = self.resolver.resolve(&firing_rules, raw_commands);
         let conflicts_resolved = before - commands.len();
 
-        EngineOutcome {
-            fired,
-            suppressed,
-            commands,
-            conflicts_resolved,
-        }
+        EngineOutcome { fired, suppressed, commands, conflicts_resolved }
     }
 
     /// Evaluates a batch of events in order against the same snapshot, concatenating
@@ -162,10 +157,7 @@ impl PolicyEngine {
         snapshot: &ContextSnapshot,
         now: Timestamp,
     ) -> Vec<EngineOutcome> {
-        events
-            .iter()
-            .map(|e| self.evaluate(e, snapshot, now))
-            .collect()
+        events.iter().map(|e| self.evaluate(e, snapshot, now)).collect()
     }
 }
 
@@ -189,10 +181,7 @@ mod tests {
                 component: "ann-sensor".into(),
                 command: "sample-interval=1s".into(),
             })
-            .then(Action::Connect {
-                from: "ann-analyser".into(),
-                to: "emergency-doctor".into(),
-            })
+            .then(Action::Connect { from: "ann-analyser".into(), to: "emergency-doctor".into() })
             .priority(PolicyPriority::EMERGENCY)
             .build()
     }
@@ -222,10 +211,7 @@ mod tests {
         assert_eq!(outcome.suppressed, vec![PolicyId::new("night-quiet")]);
         assert_eq!(outcome.commands.len(), 3);
         assert!(!outcome.is_quiescent());
-        assert!(outcome
-            .commands
-            .iter()
-            .all(|c| c.issued_by_policy == "emergency-response"));
+        assert!(outcome.commands.iter().all(|c| c.issued_by_policy == "emergency-response"));
         assert!(outcome.commands.iter().all(|c| c.issued_at_millis == 5));
     }
 
@@ -304,7 +290,8 @@ mod tests {
                 .then(Action::Notify { recipient: "auditor".into(), message: "alive".into() })
                 .build(),
         );
-        let outcome = engine.evaluate(&PolicyEvent::Tick, &ContextSnapshot::default(), Timestamp::ZERO);
+        let outcome =
+            engine.evaluate(&PolicyEvent::Tick, &ContextSnapshot::default(), Timestamp::ZERO);
         assert_eq!(outcome.fired.len(), 1);
         assert_eq!(outcome.commands.len(), 1);
     }

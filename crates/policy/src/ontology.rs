@@ -138,11 +138,7 @@ impl Ontology {
     /// All declared terms subsumed by `broad` (its narrower terms, transitively,
     /// including equivalents). Useful for expanding a policy's scope into concrete tags.
     pub fn expand(&self, broad: &str) -> Vec<String> {
-        self.terms
-            .iter()
-            .filter(|t| self.subsumed_by(t, broad))
-            .cloned()
-            .collect()
+        self.terms.iter().filter(|t| self.subsumed_by(t, broad)).cloned().collect()
     }
 
     /// A default healthcare/IoT vocabulary used by the scenarios and examples.

@@ -90,28 +90,30 @@ impl PolicyTemplate {
     /// Expands the template into concrete policy rules.
     pub fn expand(&self) -> Vec<PolicyRule> {
         match self {
-            PolicyTemplate::GeoFence { data_tag, region, authority } => vec![
-                PolicyRule::builder(format!("geo-fence-{data_tag}-{region}"), authority.clone())
-                    .on_flow_attempt(false)
-                    .when(Condition::is_false(format!("destination.in-{region}")))
-                    .then(Action::DenyFlow { from: "*".into(), to: "*".into() })
-                    .priority(PolicyPriority::REGULATORY)
-                    .describe(format!(
-                        "data tagged `{data_tag}` must not flow to components outside {region}"
-                    ))
-                    .build(),
-            ],
-            PolicyTemplate::ConsentRequired { data_tag, subject, authority } => vec![
-                PolicyRule::builder(format!("consent-{subject}-{data_tag}"), authority.clone())
-                    .on_flow_attempt(false)
-                    .when(Condition::is_false(format!("{subject}.consent-given")))
-                    .then(Action::DenyFlow { from: "*".into(), to: "*".into() })
-                    .priority(PolicyPriority::REGULATORY)
-                    .describe(format!(
-                        "flows of `{data_tag}` require recorded consent from {subject}"
-                    ))
-                    .build(),
-            ],
+            PolicyTemplate::GeoFence { data_tag, region, authority } => vec![PolicyRule::builder(
+                format!("geo-fence-{data_tag}-{region}"),
+                authority.clone(),
+            )
+            .on_flow_attempt(false)
+            .when(Condition::is_false(format!("destination.in-{region}")))
+            .then(Action::DenyFlow { from: "*".into(), to: "*".into() })
+            .priority(PolicyPriority::REGULATORY)
+            .describe(format!(
+                "data tagged `{data_tag}` must not flow to components outside {region}"
+            ))
+            .build()],
+            PolicyTemplate::ConsentRequired { data_tag, subject, authority } => {
+                vec![PolicyRule::builder(
+                    format!("consent-{subject}-{data_tag}"),
+                    authority.clone(),
+                )
+                .on_flow_attempt(false)
+                .when(Condition::is_false(format!("{subject}.consent-given")))
+                .then(Action::DenyFlow { from: "*".into(), to: "*".into() })
+                .priority(PolicyPriority::REGULATORY)
+                .describe(format!("flows of `{data_tag}` require recorded consent from {subject}"))
+                .build()]
+            }
             PolicyTemplate::ShiftOnlyAccess { worker, source, authority } => vec![
                 PolicyRule::builder(format!("shift-only-{worker}"), authority.clone())
                     .on_context_key(format!("{worker}.on-shift"))
@@ -132,26 +134,24 @@ impl PolicyTemplate {
                 anonymiser,
                 analytics,
                 authority,
-            } => vec![
-                PolicyRule::builder(
-                    format!("anonymise-before-analytics-{data_tag}"),
-                    authority.clone(),
-                )
-                .on_component_joined()
-                .then(Action::RouteVia {
-                    from: source.clone(),
-                    via: anonymiser.clone(),
-                    to: analytics.clone(),
-                })
-                .then(Action::DenyFlow { from: source.clone(), to: analytics.clone() })
-                .priority(PolicyPriority::REGULATORY)
-                .describe(format!(
-                    "`{data_tag}` data must pass through {anonymiser} before {analytics}"
-                ))
-                .build(),
-            ],
-            PolicyTemplate::Retention { store, retention_millis, authority } => vec![
-                PolicyRule::builder(format!("retention-{store}"), authority.clone())
+            } => vec![PolicyRule::builder(
+                format!("anonymise-before-analytics-{data_tag}"),
+                authority.clone(),
+            )
+            .on_component_joined()
+            .then(Action::RouteVia {
+                from: source.clone(),
+                via: anonymiser.clone(),
+                to: analytics.clone(),
+            })
+            .then(Action::DenyFlow { from: source.clone(), to: analytics.clone() })
+            .priority(PolicyPriority::REGULATORY)
+            .describe(format!(
+                "`{data_tag}` data must pass through {anonymiser} before {analytics}"
+            ))
+            .build()],
+            PolicyTemplate::Retention { store, retention_millis, authority } => {
+                vec![PolicyRule::builder(format!("retention-{store}"), authority.clone())
                     .on_tick()
                     .when(Condition::number_at_least(
                         format!("{store}.oldest-item-age"),
@@ -162,11 +162,9 @@ impl PolicyTemplate {
                         command: format!("purge-older-than={retention_millis}"),
                     })
                     .priority(PolicyPriority::REGULATORY)
-                    .describe(format!(
-                        "{store} must purge items older than {retention_millis}ms"
-                    ))
-                    .build(),
-            ],
+                    .describe(format!("{store} must purge items older than {retention_millis}ms"))
+                    .build()]
+            }
             PolicyTemplate::EmergencyResponse {
                 emergency_key,
                 analyser,
@@ -236,7 +234,11 @@ mod tests {
         for r in rules {
             engine.add_rule(r);
         }
-        let event = PolicyEvent::FlowAttempted { from: "sensor".into(), to: "analyser".into(), allowed: true };
+        let event = PolicyEvent::FlowAttempted {
+            from: "sensor".into(),
+            to: "analyser".into(),
+            allowed: true,
+        };
         // No consent recorded: rule fires and denies.
         let outcome = engine.evaluate(&event, &ContextSnapshot::default(), Timestamp::ZERO);
         assert_eq!(outcome.fired.len(), 1);
@@ -297,9 +299,7 @@ mod tests {
             engine.add_rule(r);
         }
         let fresh = ContextSnapshot::from_pairs([("archive.oldest-item-age", 500i64)]);
-        assert!(engine
-            .evaluate(&PolicyEvent::Tick, &fresh, Timestamp::ZERO)
-            .is_quiescent());
+        assert!(engine.evaluate(&PolicyEvent::Tick, &fresh, Timestamp::ZERO).is_quiescent());
         let stale = ContextSnapshot::from_pairs([("archive.oldest-item-age", 5_000i64)]);
         let outcome = engine.evaluate(&PolicyEvent::Tick, &stale, Timestamp::ZERO);
         assert_eq!(outcome.commands.len(), 1);

@@ -121,10 +121,7 @@ pub struct HardwareRoot {
 impl HardwareRoot {
     /// Provisions a hardware root for the named platform.
     pub fn provision<R: Rng + ?Sized>(platform: impl Into<String>, rng: &mut R) -> Self {
-        HardwareRoot {
-            platform: platform.into(),
-            device_secret: rng.gen(),
-        }
+        HardwareRoot { platform: platform.into(), device_secret: rng.gen() }
     }
 
     /// The platform name.
@@ -186,9 +183,7 @@ impl HardwareRoot {
                 (a, b) => a == b,
             });
             if !satisfied {
-                return AttestationVerdict::MissingClaim {
-                    requirement: req.to_string(),
-                };
+                return AttestationVerdict::MissingClaim { requirement: req.to_string() };
             }
         }
         AttestationVerdict::Trusted
@@ -218,12 +213,7 @@ mod tests {
     fn quote_verifies_with_required_claims() {
         let root = root();
         let quote = root.quote(standard_claims(), 1_000);
-        let verdict = root.verify(
-            &quote,
-            1_500,
-            10_000,
-            &[PlatformClaim::IfcEnforcementPresent],
-        );
+        let verdict = root.verify(&quote, 1_500, 10_000, &[PlatformClaim::IfcEnforcementPresent]);
         assert!(verdict.is_trusted());
         assert_eq!(quote.platform, "cloud-node-1");
         assert_eq!(root.platform(), "cloud-node-1");
@@ -234,10 +224,7 @@ mod tests {
         let root = root();
         let mut quote = root.quote(standard_claims(), 1_000);
         quote.claims.push(PlatformClaim::Custom { key: "extra".into(), value: "claim".into() });
-        assert_eq!(
-            root.verify(&quote, 1_500, 10_000, &[]),
-            AttestationVerdict::BadSignature
-        );
+        assert_eq!(root.verify(&quote, 1_500, 10_000, &[]), AttestationVerdict::BadSignature);
     }
 
     #[test]
@@ -245,29 +232,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let other = HardwareRoot::provision("rogue-node", &mut rng);
         let quote = other.quote(standard_claims(), 1_000);
-        assert_eq!(
-            root().verify(&quote, 1_500, 10_000, &[]),
-            AttestationVerdict::BadSignature
-        );
+        assert_eq!(root().verify(&quote, 1_500, 10_000, &[]), AttestationVerdict::BadSignature);
     }
 
     #[test]
     fn stale_quotes_rejected() {
         let root = root();
         let quote = root.quote(standard_claims(), 1_000);
-        assert_eq!(
-            root.verify(&quote, 100_000, 10_000, &[]),
-            AttestationVerdict::Stale
-        );
+        assert_eq!(root.verify(&quote, 100_000, 10_000, &[]), AttestationVerdict::Stale);
     }
 
     #[test]
     fn missing_required_claim_rejected() {
         let root = root();
-        let quote = root.quote(
-            vec![PlatformClaim::MeasuredSoftware { identity: "stack".into() }],
-            0,
-        );
+        let quote =
+            root.quote(vec![PlatformClaim::MeasuredSoftware { identity: "stack".into() }], 0);
         let verdict = root.verify(&quote, 0, 10, &[PlatformClaim::IfcEnforcementPresent]);
         match &verdict {
             AttestationVerdict::MissingClaim { requirement } => {

@@ -25,6 +25,6 @@ pub mod pki;
 
 pub use attestation::{AttestationQuote, AttestationVerdict, HardwareRoot, PlatformClaim};
 pub use pki::{
-    AttributeCertificate, Certificate, CertificateAuthority, KeyPair, RevocationList,
-    TrustError, VerificationOutcome, WebOfTrust,
+    AttributeCertificate, Certificate, CertificateAuthority, KeyPair, RevocationList, TrustError,
+    VerificationOutcome, WebOfTrust,
 };

@@ -1,8 +1,8 @@
 //! Simulated public-key infrastructure: key pairs, identity and attribute certificates,
 //! a certificate authority, revocation, and a web-of-trust alternative.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -55,10 +55,7 @@ pub struct KeyPair {
 impl KeyPair {
     /// Generates a fresh key pair using the supplied RNG.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        KeyPair {
-            public: rng.gen(),
-            private: rng.gen(),
-        }
+        KeyPair { public: rng.gen(), private: rng.gen() }
     }
 
     /// Signs a byte string, producing a simulated signature.
@@ -347,8 +344,7 @@ impl WebOfTrust {
         subject_public: u64,
         max_hops: usize,
     ) -> bool {
-        let mut frontier: BTreeSet<String> =
-            trusted_roots.iter().map(|s| s.to_string()).collect();
+        let mut frontier: BTreeSet<String> = trusted_roots.iter().map(|s| s.to_string()).collect();
         for _ in 0..max_hops {
             let mut next = BTreeSet::new();
             for endorser in &frontier {
@@ -407,16 +403,10 @@ mod tests {
         let mut ca = CertificateAuthority::new("ca", &mut r);
         let key = KeyPair::generate(&mut r);
         let cert = ca.issue("thing", key.public, 1_000);
-        assert_eq!(
-            ca.verify(&cert, 1_000),
-            VerificationOutcome::Invalid(TrustError::Expired)
-        );
+        assert_eq!(ca.verify(&cert, 1_000), VerificationOutcome::Invalid(TrustError::Expired));
         let cert2 = ca.issue("rogue", key.public, u64::MAX);
         ca.revoke("rogue");
-        assert_eq!(
-            ca.verify(&cert2, 0),
-            VerificationOutcome::Invalid(TrustError::Revoked)
-        );
+        assert_eq!(ca.verify(&cert2, 0), VerificationOutcome::Invalid(TrustError::Revoked));
         assert!(ca.revocations().is_revoked("rogue"));
         assert_eq!(ca.revocations().len(), 1);
         assert!(!ca.revocations().is_empty());
@@ -429,10 +419,7 @@ mod tests {
         let key = KeyPair::generate(&mut r);
         let mut cert = ca.issue("thing", key.public, u64::MAX);
         cert.subject = "impostor".into();
-        assert_eq!(
-            ca.verify(&cert, 0),
-            VerificationOutcome::Invalid(TrustError::BadSignature)
-        );
+        assert_eq!(ca.verify(&cert, 0), VerificationOutcome::Invalid(TrustError::BadSignature));
     }
 
     #[test]
@@ -498,8 +485,6 @@ mod tests {
         assert!(TrustError::Revoked.to_string().contains("revoked"));
         assert!(TrustError::Expired.to_string().contains("expired"));
         assert!(TrustError::SubjectMismatch.to_string().contains("subject"));
-        assert!(TrustError::UntrustedIssuer { issuer: "x".into() }
-            .to_string()
-            .contains("x"));
+        assert!(TrustError::UntrustedIssuer { issuer: "x".into() }.to_string().contains("x"));
     }
 }

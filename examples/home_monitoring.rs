@@ -18,10 +18,7 @@ fn main() {
     scenario.run_sanitiser_endorsement();
     println!(
         "input-sanitiser -> zeb-analyser open: {}",
-        scenario
-            .deployment
-            .middleware()
-            .has_open_channel("input-sanitiser", "zeb-analyser")
+        scenario.deployment.middleware().has_open_channel("input-sanitiser", "zeb-analyser")
     );
 
     println!("\n== Fig. 6: statistics are declassified before the ward manager ==");
@@ -37,10 +34,7 @@ fn main() {
     println!("audit records      : {}", outcome.audit_records);
     println!(
         "emergency channel ann-analyser -> emergency-doctor open: {}",
-        scenario
-            .deployment
-            .middleware()
-            .has_open_channel("ann-analyser", "emergency-doctor")
+        scenario.deployment.middleware().has_open_channel("ann-analyser", "emergency-doctor")
     );
 
     let compliance = outcome.compliance.expect("compliance report");
@@ -58,5 +52,8 @@ fn main() {
     for node in provenance.ancestry("monthly-statistics") {
         println!("  derived from: {}", node.name);
     }
-    println!("(DOT export available via ProvenanceGraph::to_dot, {} nodes)", provenance.node_count());
+    println!(
+        "(DOT export available via ProvenanceGraph::to_dot, {} nodes)",
+        provenance.node_count()
+    );
 }

@@ -20,21 +20,11 @@ fn main() {
     let mut deployment = Deployment::new("quickstart", "engine");
     let sensor = Thing::new("ann-sensor", ThingKind::Sensor, "ann", "home", sensor_ctx)
         .produces("sensor-reading");
-    let analyser = Thing::new(
-        "ann-analyser",
-        ThingKind::CloudService,
-        "hospital",
-        "cloud",
-        analyser_ctx,
-    )
-    .consumes("sensor-reading");
-    let advertiser = Thing::new(
-        "advertiser",
-        ThingKind::Application,
-        "ad-corp",
-        "ad-cloud",
-        advertiser_ctx,
-    );
+    let analyser =
+        Thing::new("ann-analyser", ThingKind::CloudService, "hospital", "cloud", analyser_ctx)
+            .consumes("sensor-reading");
+    let advertiser =
+        Thing::new("advertiser", ThingKind::Application, "ad-corp", "ad-cloud", advertiser_ctx);
     deployment.add_thing(&sensor, "eu");
     deployment.add_thing(&analyser, "eu");
     deployment.add_thing(&advertiser, "us");
@@ -59,8 +49,5 @@ fn main() {
     for record in deployment.audit().records() {
         println!("  [{:>4}ms] {}", record.at_millis, record.event);
     }
-    println!(
-        "audit chain: {}",
-        deployment.audit().verify_chain()
-    );
+    println!("audit chain: {}", deployment.audit().verify_chain());
 }

@@ -39,9 +39,7 @@ fn main() {
 
     // Wire one district: sensors -> gateway -> council analytics.
     for s in 0..city.sensors_per_district {
-        deployment
-            .connect(&format!("district0-sensor{s}"), "district0-gateway")
-            .unwrap();
+        deployment.connect(&format!("district0-sensor{s}"), "district0-gateway").unwrap();
     }
     deployment.connect("district0-gateway", "council-analytics").unwrap();
 
@@ -110,8 +108,5 @@ fn main() {
     for v in &report.violations {
         println!("    - {v}");
     }
-    println!(
-        "\ndenied flows recorded in audit: {}",
-        deployment.audit().denied_flows().count()
-    );
+    println!("\ndenied flows recorded in audit: {}", deployment.audit().denied_flows().count());
 }

@@ -1,0 +1,92 @@
+//! Smoke tests mirroring the core entry path of each example in `examples/`,
+//! so the public API the examples showcase cannot drift without failing CI.
+//! (CI additionally runs `cargo run --example quickstart` end-to-end.)
+
+use legaliot::compliance::ComplianceChecker;
+use legaliot::core::{Deployment, HomeMonitoringScenario};
+use legaliot::ifc::{can_flow, SecurityContext};
+use legaliot::iot::{CityWorkload, Thing, ThingKind};
+use legaliot::middleware::Message;
+
+/// `examples/quickstart.rs`: label components, check flows, enforce through
+/// the middleware, inspect the audit chain.
+#[test]
+fn quickstart_entry_path() {
+    let sensor_ctx = SecurityContext::from_names(["medical", "ann"], ["hosp-dev", "consent"]);
+    let analyser_ctx = SecurityContext::from_names(["medical", "ann"], ["hosp-dev", "consent"]);
+    let advertiser_ctx = SecurityContext::public();
+    assert!(can_flow(&sensor_ctx, &analyser_ctx).is_allowed());
+    assert!(can_flow(&sensor_ctx, &advertiser_ctx).is_denied());
+
+    let mut deployment = Deployment::new("quickstart", "engine");
+    deployment.add_thing(
+        &Thing::new("ann-sensor", ThingKind::Sensor, "ann", "home", sensor_ctx)
+            .produces("sensor-reading"),
+        "eu",
+    );
+    deployment.add_thing(
+        &Thing::new("ann-analyser", ThingKind::CloudService, "hospital", "cloud", analyser_ctx)
+            .consumes("sensor-reading"),
+        "eu",
+    );
+    deployment.add_thing(
+        &Thing::new("advertiser", ThingKind::Application, "ad-corp", "ad-cloud", advertiser_ctx),
+        "us",
+    );
+
+    assert!(deployment.connect("ann-sensor", "ann-analyser").unwrap().is_delivered());
+    assert!(!deployment.connect("ann-sensor", "advertiser").unwrap().is_delivered());
+
+    deployment
+        .send(
+            "ann-sensor",
+            "ann-analyser",
+            Message::new("sensor-reading", SecurityContext::public()),
+        )
+        .unwrap();
+    assert_eq!(deployment.receive("ann-analyser").len(), 1);
+    assert!(!deployment.audit().is_empty());
+    assert!(deployment.audit().verify_chain().is_intact());
+}
+
+/// `examples/home_monitoring.rs`: the Fig. 4 scenario delivers readings and
+/// keeps an intact audit chain over several rounds.
+#[test]
+fn home_monitoring_entry_path() {
+    let mut scenario = HomeMonitoringScenario::build(2016);
+    scenario.run_sanitiser_endorsement();
+    let outcome = scenario.run(3);
+    assert!(outcome.delivered > 0);
+    assert!(scenario.deployment.audit().verify_chain().is_intact());
+}
+
+/// `examples/smart_city.rs`: a multi-district city workload registers all of
+/// its components with the deployment.
+#[test]
+fn smart_city_entry_path() {
+    let city = CityWorkload::new(3, 4);
+    let mut deployment = Deployment::new("smart-city", "council-engine");
+    for thing in city.things() {
+        let region = if thing.owner == "ad-corp" { "us" } else { "eu" };
+        deployment.add_thing(&thing, region);
+    }
+    assert!(deployment.middleware().registry().len() >= 3 * 4);
+}
+
+/// `examples/compliance_audit.rs`: obligations → enforcement → audit →
+/// compliance report → liability apportionment.
+#[test]
+fn compliance_audit_entry_path() {
+    let mut scenario = HomeMonitoringScenario::build(7);
+    scenario.run_sanitiser_endorsement();
+    scenario.run_statistics_declassification();
+    let outcome = scenario.run(5);
+    assert!(outcome.delivered > 0);
+
+    let regulation = scenario.regulation().clone();
+    let report = scenario.deployment.compliance_report(&regulation);
+    assert!(report.evidence_intact);
+
+    let liability = ComplianceChecker::liability(scenario.deployment.provenance(), "ann-analysis");
+    assert_eq!(liability.data_item, "ann-analysis");
+}

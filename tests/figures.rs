@@ -49,9 +49,15 @@ fn fig2_chain_enforcement_across_lengths() {
         let shared = ctx(&["pipeline"], &[]);
         for stage in &chain.stages {
             deployment.add_thing(
-                &Thing::new(stage.clone(), ThingKind::CloudService, "operator", "node", shared.clone())
-                    .produces("item")
-                    .consumes("item"),
+                &Thing::new(
+                    stage.clone(),
+                    ThingKind::CloudService,
+                    "operator",
+                    "node",
+                    shared.clone(),
+                )
+                .produces("item")
+                .consumes("item"),
                 "eu",
             );
         }
@@ -74,16 +80,14 @@ fn fig4_illegal_flow_prevented() {
     let (cross, unsanitised) = scenario.demonstrate_illegal_flows();
     assert!(matches!(cross, DeliveryOutcome::DeniedByIfc(_)));
     assert!(matches!(unsanitised, DeliveryOutcome::DeniedByIfc(_)));
-    assert!(scenario
-        .deployment
-        .middleware()
-        .has_open_channel("ann-sensor", "ann-analyser"));
+    assert!(scenario.deployment.middleware().has_open_channel("ann-sensor", "ann-analyser"));
     // The denials are visible in the audit trail (accountability).
-    assert!(scenario
-        .deployment
-        .audit()
-        .of_kind(AuditEventKind::ChannelChanged)
-        .any(|r| !matches!(r.event, legaliot::audit::AuditEvent::ChannelChanged { established: true, .. })));
+    assert!(scenario.deployment.audit().of_kind(AuditEventKind::ChannelChanged).any(
+        |r| !matches!(
+            r.event,
+            legaliot::audit::AuditEvent::ChannelChanged { established: true, .. }
+        )
+    ));
 }
 
 /// Fig. 5 — the input sanitiser endorses Zeb's non-standard data: the raw reading is
@@ -93,10 +97,7 @@ fn fig4_illegal_flow_prevented() {
 fn fig5_endorsement_via_sanitiser() {
     let mut scenario = HomeMonitoringScenario::build(5);
     scenario.run_sanitiser_endorsement();
-    assert!(scenario
-        .deployment
-        .middleware()
-        .has_open_channel("input-sanitiser", "zeb-analyser"));
+    assert!(scenario.deployment.middleware().has_open_channel("input-sanitiser", "zeb-analyser"));
     // Relay one reading through the alternating-context sanitiser pipeline.
     assert!(scenario.relay_third_party_reading("zeb", 82));
     assert_eq!(scenario.deployment.receive("zeb-analyser").len(), 1);
@@ -123,10 +124,7 @@ fn fig7_emergency_response_loop() {
     scenario.workload.emergency_probability = 1.0;
     let outcome = scenario.run(2);
     assert!(outcome.emergencies > 0);
-    assert!(scenario
-        .deployment
-        .middleware()
-        .has_open_channel("ann-analyser", "emergency-doctor"));
+    assert!(scenario.deployment.middleware().has_open_channel("ann-analyser", "emergency-doctor"));
     assert!(!scenario.deployment.middleware().actuations().is_empty());
     assert!(outcome.notifications > 0);
 }
@@ -161,25 +159,13 @@ fn fig8_third_party_reconfiguration_authorisation() {
     assert!(deployment.middleware().has_open_channel("component-a", "component-b"));
     // An unknown third party is refused.
     let rejected = deployment.middleware_mut().handle_control(
-        &ControlMessage::new(
-            "component-a",
-            ReconfigureOp::Isolate,
-            "mallory",
-            "none",
-            2,
-        ),
+        &ControlMessage::new("component-a", ReconfigureOp::Isolate, "mallory", "none", 2),
         &snapshot,
         now,
     );
     assert!(!rejected.is_applied());
     // Both attempts are audited.
-    assert_eq!(
-        deployment
-            .audit()
-            .of_kind(AuditEventKind::Reconfigured)
-            .count(),
-        2
-    );
+    assert_eq!(deployment.audit().of_kind(AuditEventKind::Reconfigured).count(), 2);
 }
 
 /// Fig. 9 — two-level enforcement: kernel-level IFC locally, messaging-level IFC across
@@ -188,7 +174,8 @@ fn fig8_third_party_reconfiguration_authorisation() {
 fn fig9_cross_machine_two_level_enforcement() {
     // Kernel level on the home gateway: the sensor process writes a labelled reading.
     let mut home_os = Os::new("ann-home-gateway", EnforcementMode::Enforce);
-    let sensor_proc = home_os.spawn("sensor-daemon", ctx(&["medical", "ann"], &["hosp-dev", "consent"]));
+    let sensor_proc =
+        home_os.spawn("sensor-daemon", ctx(&["medical", "ann"], &["hosp-dev", "consent"]));
     let reading = home_os.create_object(sensor_proc, "reading-1", ObjectKind::File).unwrap();
     assert!(home_os.write(sensor_proc, reading, 1).unwrap().is_completed());
     // A co-located untrusted process cannot read it.
@@ -223,7 +210,13 @@ fn fig9_cross_machine_two_level_enforcement() {
         "eu",
     );
     deployment.add_thing(
-        &Thing::new("public-dashboard", ThingKind::Application, "city", "hospital-cloud", SecurityContext::public()),
+        &Thing::new(
+            "public-dashboard",
+            ThingKind::Application,
+            "city",
+            "hospital-cloud",
+            SecurityContext::public(),
+        ),
         "eu",
     );
     assert!(deployment.connect("ann-sensor", "ann-analyser").unwrap().is_delivered());
@@ -250,13 +243,25 @@ fn fig10_message_level_tags_source_quenching() {
         "eu",
     );
     deployment.add_thing(
-        &Thing::new("analyser-vm2", ThingKind::CloudService, "tenant", "vm2", ctx(&["A", "B"], &[]))
-            .consumes("person"),
+        &Thing::new(
+            "analyser-vm2",
+            ThingKind::CloudService,
+            "tenant",
+            "vm2",
+            ctx(&["A", "B"], &[]),
+        )
+        .consumes("person"),
         "eu",
     );
     deployment.add_thing(
-        &Thing::new("trusted-vault", ThingKind::CloudService, "tenant", "vm2", ctx(&["A", "B", "C"], &[]))
-            .consumes("person"),
+        &Thing::new(
+            "trusted-vault",
+            ThingKind::CloudService,
+            "tenant",
+            "vm2",
+            ctx(&["A", "B", "C"], &[]),
+        )
+        .consumes("person"),
         "eu",
     );
     // Attribute `name` carries the messaging-level tag C; `country` does not.
@@ -284,7 +289,9 @@ fn fig10_message_level_tags_source_quenching() {
         other => panic!("expected delivery, got {other:?}"),
     }
     match deployment.send("app-vm1", "trusted-vault", message()).unwrap() {
-        DeliveryOutcome::Delivered { quenched_attributes } => assert!(quenched_attributes.is_empty()),
+        DeliveryOutcome::Delivered { quenched_attributes } => {
+            assert!(quenched_attributes.is_empty())
+        }
         other => panic!("expected delivery, got {other:?}"),
     }
     let vault_inbox = deployment.receive("trusted-vault");
@@ -302,11 +309,8 @@ fn fig11_provenance_graph_from_audit() {
     scenario.run_statistics_declassification();
     let provenance = scenario.deployment.provenance();
     assert!(provenance.derivation_is_acyclic());
-    let ancestry: Vec<_> = provenance
-        .ancestry("monthly-statistics")
-        .into_iter()
-        .map(|n| n.name.clone())
-        .collect();
+    let ancestry: Vec<_> =
+        provenance.ancestry("monthly-statistics").into_iter().map(|n| n.name.clone()).collect();
     assert!(ancestry.contains(&"ann-reading".to_string()));
     assert!(ancestry.contains(&"zeb-analysis".to_string()));
     let dot = provenance.to_dot();
@@ -341,7 +345,13 @@ fn failure_injection_rogue_component_and_node_crash() {
     let snapshot = scenario.deployment.context().snapshot();
     let now = scenario.deployment.now();
     let outcome = scenario.deployment.middleware_mut().handle_control(
-        &ControlMessage::new("ann-sensor", ReconfigureOp::Isolate, "hospital-engine", "incident", 1),
+        &ControlMessage::new(
+            "ann-sensor",
+            ReconfigureOp::Isolate,
+            "hospital-engine",
+            "incident",
+            1,
+        ),
         &snapshot,
         now,
     );
@@ -422,8 +432,5 @@ fn consent_governs_compliance_verdict() {
     // Consent recorded: the same evidence is compliant.
     deployment.record_consent("ann");
     let report = deployment.compliance_report(&regulation);
-    assert!(report
-        .violations
-        .iter()
-        .all(|v| !v.obligation.starts_with("consent:")));
+    assert!(report.violations.iter().all(|v| !v.obligation.starts_with("consent:")));
 }

@@ -1,0 +1,433 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use, backed by deterministic random sampling (256 cases per test,
+//! seeded from the test name so runs are reproducible). Shrinking and
+//! persistence of failing cases are out of scope; a failure reports the case
+//! number and seed instead.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of random cases each `proptest!` test runs.
+pub const CASES: u32 = 256;
+
+/// Error raised by the `prop_assert*` macros inside a property test body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// A generator of random values of type `Value`.
+///
+/// Object-safe core (`generate`) plus sized combinators, so strategies can be
+/// boxed by `prop_oneof!`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given strategies.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String strategies from a simplified regex: a single character class with
+/// optional `{m,n}` repetition, e.g. `"[a-e]{1,3}"` or `"[a-c]"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, min, max) = parse_simple_regex(self);
+        let len = rng.gen_range(min..max + 1);
+        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+}
+
+fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`: expected `[class]{{m,n}}`"));
+    let (class, rest) = rest
+        .split_once(']')
+        .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`: unterminated class"));
+
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let end = chars
+                .next()
+                .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`: dangling range"));
+            alphabet.extend((c..=end).collect::<Vec<char>>());
+        } else {
+            alphabet.push(c);
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+
+    if rest.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported pattern `{pattern}`: expected `{{m,n}}`"));
+    let (min, max) = counts.split_once(',').unwrap_or((counts, counts));
+    let min: usize = min.trim().parse().expect("invalid repetition lower bound");
+    let max: usize = max.trim().parse().expect("invalid repetition upper bound");
+    assert!(min <= max, "invalid repetition range in `{pattern}`");
+    (alphabet, min, max)
+}
+
+/// Collection sizes: a fixed count or a half-open range.
+pub trait IntoSizeRange {
+    /// Converts into `(min, max_exclusive)`.
+    fn into_size_range(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.into_size_range();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of values from `element`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates sets with target sizes drawn from `size` (duplicates collapse,
+    /// so the result may be smaller, as with real proptest before rejection).
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (min, max) = size.into_size_range();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let len = rng.gen_range(self.min..self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::*;
+
+    /// Uniform boolean strategy.
+    pub struct Any;
+
+    /// Uniform boolean strategy value, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::std::primitive::bool;
+
+        fn generate(&self, rng: &mut StdRng) -> ::std::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runs one property test: used by the `proptest!` macro expansion.
+pub fn run_property_test<F: FnMut(&mut StdRng) -> Result<(), TestCaseError>>(
+    name: &str,
+    mut case: F,
+) {
+    // Seed from the test name so each test gets a distinct but stable stream.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        seed ^= byte as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case_index in 0..CASES {
+        let case_seed = seed.wrapping_add(case_index as u64);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        if let Err(error) = case(&mut rng) {
+            panic!("property `{name}` failed at case {case_index} (seed {case_seed:#x}): {error}");
+        }
+    }
+}
+
+/// Declares property tests, mirroring proptest's macro of the same name.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property_test(stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({left:?} vs {right:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {left:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+        TestCaseError,
+    };
+    /// Module alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strategies_respect_shape() {
+        let (alphabet, min, max) = super::parse_simple_regex("[a-e]{1,3}");
+        assert_eq!(alphabet, vec!['a', 'b', 'c', 'd', 'e']);
+        assert_eq!((min, max), (1, 3));
+        let (alphabet, min, max) = super::parse_simple_regex("[a-c]");
+        assert_eq!(alphabet, vec!['a', 'b', 'c']);
+        assert_eq!((min, max), (1, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn generated_strings_match_class(s in "[a-d]{1,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_collections_compose(
+            pick in prop_oneof![Just(1), Just(2)],
+            items in collection::vec(0u64..10, 0..5),
+            set in collection::btree_set("[a-b]", 0..4),
+        ) {
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert!(items.len() < 5);
+            prop_assert!(set.len() < 4);
+        }
+    }
+}

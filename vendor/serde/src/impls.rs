@@ -1,0 +1,411 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+use crate::{Deserialize, Error, Map, Serialize, Value};
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {}", value.kind())))
+    }
+}
+
+macro_rules! int_impl {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = value.$via().ok_or_else(|| {
+                    Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        value.kind()
+                    ))
+                })?;
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+int_impl!(i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64, isize => as_i64);
+int_impl!(u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64, usize => as_u64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected float, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, found {}", value.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected null, found {}", value.kind())))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointers and wrappers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// A generic `Arc<T>` impl would conflict with this one under coherence; the
+// only `Arc` payload the workspace deserialises is `str`.
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        String::from_value(value).map(std::sync::Arc::from)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+fn sequence<'v, T: Deserialize>(
+    value: &'v Value,
+) -> Result<impl Iterator<Item = Result<T, Error>> + 'v, Error> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?;
+    Ok(items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| T::from_value(item).map_err(|e| e.context(format!("[{i}]")))))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        sequence(value)?.collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        sequence(value)?.collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        sequence(value)?.collect()
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        sequence(value)?.collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maps — keys must serialise to strings, as in JSON.
+// ---------------------------------------------------------------------------
+
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        other => panic!("map keys must serialise to strings, got {}", other.kind()),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    K::from_value(&Value::String(key.to_string())).map_err(|e| e.context(format!("key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?;
+        obj.iter()
+            .map(|(k, v)| {
+                Ok((key_from_string(k)?, V::from_value(v).map_err(|e| e.context(k.clone()))?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?;
+        obj.iter()
+            .map(|(k, v)| {
+                Ok((key_from_string(k)?, V::from_value(v).map_err(|e| e.context(k.clone()))?))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_impl {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected array, found {}", value.kind()))
+                })?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx]).map_err(|e| e.context($idx.to_string()))?,)+))
+            }
+        }
+    };
+}
+tuple_impl!(1 => A.0);
+tuple_impl!(2 => A.0, B.1);
+tuple_impl!(3 => A.0, B.1, C.2);
+tuple_impl!(4 => A.0, B.1, C.2, D.3);
+
+// ---------------------------------------------------------------------------
+// Value itself
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("secs".to_string(), Value::from(self.as_secs()));
+        map.insert("nanos".to_string(), Value::from(self.subsec_nanos()));
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?;
+        let secs = obj
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::custom("missing `secs`"))?;
+        let nanos = obj
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::custom("missing `nanos`"))?;
+        Ok(std::time::Duration::new(secs, nanos as u32))
+    }
+}

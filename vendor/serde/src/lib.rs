@@ -1,0 +1,67 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors a
+//! minimal serialisation framework under the same crate name. It keeps the
+//! user-facing surface the repo relies on — `use serde::{Serialize, Deserialize}`
+//! plus `#[derive(Serialize, Deserialize)]` — but is built around a concrete
+//! JSON-like [`Value`] tree instead of serde's generic `Serializer`/`Deserializer`
+//! visitors. `serde_json` (also vendored) re-exports [`Value`] and implements the
+//! text round trip. Swapping in the real crates later only requires changing
+//! `[workspace.dependencies]`; call sites stay unchanged.
+
+mod impls;
+mod value;
+
+pub use value::{Map, Value};
+
+/// Re-export of the derive macros so `#[derive(serde::Serialize)]` works exactly
+/// like with the real crate (the trait and the macro share a name on purpose,
+/// mirroring serde's own `derive` feature).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialisation/deserialisation error: a message plus a reverse path of the
+/// fields that were being visited when the failure happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    path: Vec<String>,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(message: impl std::fmt::Display) -> Self {
+        Error { message: message.to_string(), path: Vec::new() }
+    }
+
+    /// Returns a copy of the error with `segment` pushed onto the field path.
+    pub fn context(mut self, segment: impl Into<String>) -> Self {
+        self.path.push(segment.into());
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            let mut path: Vec<&str> = self.path.iter().map(String::as_str).collect();
+            path.reverse();
+            write!(f, "{}: {}", path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialises `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialises an instance from `value`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}

@@ -1,0 +1,277 @@
+//! The JSON-like data model shared by the vendored `serde` and `serde_json`.
+
+use std::collections::BTreeMap;
+use std::ops::{Index, IndexMut};
+
+/// Object representation: field name to value.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-like value tree.
+///
+/// Signed and unsigned integers are kept as distinct variants so that `u64`
+/// payloads (e.g. hash-chain digests above `i64::MAX`) round-trip losslessly;
+/// cross-variant comparisons and conversions treat them as one numeric domain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside (or kept apart from) the `i64` range.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array of values.
+    Array(Vec<Value>),
+    /// String-keyed object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns `true` when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the object map, if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the array elements, if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, converting between the numeric variants.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(f)
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, converting between the numeric variants.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; missing keys and non-objects read as `Null`,
+    /// matching `serde_json`'s behaviour.
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Object field access for writing; inserts `Null` for a missing key,
+    /// matching `serde_json`. Panics when the value is not an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out-of-bounds and non-arrays read as `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<usize> for Value {
+    /// Array element access for writing. Panics when the value is not an
+    /// array or the index is out of bounds (as `serde_json` does).
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => {
+                let len = a.len();
+                a.get_mut(idx).unwrap_or_else(|| panic!("index {idx} out of bounds (len {len})"))
+            }
+            other => panic!("cannot index {} with a numeric index", other.kind()),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(v),
+        }
+    }
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32);
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's `Value`-tree model. The input item is parsed by
+//! hand from the raw `TokenStream` (no `syn`/`quote` available offline), which
+//! is sufficient for the shapes this workspace uses: non-generic structs with
+//! named fields, tuple/newtype structs, and enums whose variants are unit,
+//! tuple, or struct-like. The generated JSON layout matches real serde's
+//! externally-tagged defaults, so the code can migrate to the real crates
+//! without a data-format change.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    /// `#[serde(transparent)]` single-named-field struct: serialises as the
+    /// field's value alone, like real serde. Never used for enum variants.
+    TransparentNamed(String),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body =
+                serialize_struct_body(shape, |i| format!("&self.{}", field_access(shape, i)));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| serialize_variant_arm(name, v)).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = deserialize_struct_body(name, name, shape);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("derive(Deserialize): generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation — Serialize
+// ---------------------------------------------------------------------------
+
+fn field_access(shape: &Shape, idx: usize) -> String {
+    match shape {
+        Shape::Named(fields) => fields[idx].clone(),
+        Shape::TransparentNamed(field) => field.clone(),
+        _ => idx.to_string(),
+    }
+}
+
+/// Body of `to_value` for a struct shape; `access(i)` yields an expression
+/// evaluating to `&FieldType` for field `i`.
+fn serialize_struct_body(shape: &Shape, access: impl Fn(usize) -> String) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        // Newtype and transparent structs serialise as their inner value,
+        // like serde's default for newtypes and `#[serde(transparent)]`.
+        Shape::Tuple(1) | Shape::TransparentNamed(_) => {
+            format!("::serde::Serialize::to_value({})", access(0))
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value({})", access(i))).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut out = String::from("let mut map = ::serde::Map::new();\n");
+            for (i, field) in fields.iter().enumerate() {
+                out.push_str(&format!(
+                    "map.insert(\"{field}\".to_string(), ::serde::Serialize::to_value({}));\n",
+                    access(i)
+                ));
+            }
+            out.push_str("::serde::Value::Object(map)");
+            out
+        }
+    }
+}
+
+fn variant_bindings(shape: &Shape) -> (String, Vec<String>) {
+    match shape {
+        Shape::Unit => (String::new(), Vec::new()),
+        Shape::Tuple(n) => {
+            let names: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            (format!("({})", names.join(", ")), names)
+        }
+        Shape::Named(fields) => (format!("{{ {} }}", fields.join(", ")), fields.clone()),
+        Shape::TransparentNamed(_) => unreachable!("transparent applies only to structs"),
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    let (pattern, bindings) = variant_bindings(&variant.shape);
+    let payload = match &variant.shape {
+        // Unit variants serialise as a bare string, per serde's external tagging.
+        Shape::Unit => {
+            return format!(
+                "{enum_name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+            );
+        }
+        Shape::Tuple(1) => format!("::serde::Serialize::to_value({})", bindings[0]),
+        Shape::Tuple(_) => {
+            let items: Vec<String> =
+                bindings.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut out = String::from("{ let mut inner = ::serde::Map::new();\n");
+            for field in fields {
+                out.push_str(&format!(
+                    "inner.insert(\"{field}\".to_string(), ::serde::Serialize::to_value({field}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(inner) }");
+            out
+        }
+        Shape::TransparentNamed(_) => unreachable!("transparent applies only to structs"),
+    };
+    format!(
+        "{enum_name}::{vname}{pattern} => {{\n\
+             let mut map = ::serde::Map::new();\n\
+             map.insert(\"{vname}\".to_string(), {payload});\n\
+             ::serde::Value::Object(map)\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation — Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits an expression of type `Result<..., Error>` constructing `constructor`
+/// (e.g. `Name` or `Name::Variant`) from the `Value` named by local `value`.
+fn deserialize_struct_body(label: &str, constructor: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("{{ let _ = value; Ok({constructor}) }}"),
+        Shape::Tuple(1) => format!(
+            "Ok({constructor}(::serde::Deserialize::from_value(value)\
+                 .map_err(|e| e.context(\"{label}\"))?))"
+        ),
+        Shape::TransparentNamed(field) => format!(
+            "Ok({constructor} {{ {field}: ::serde::Deserialize::from_value(value)\
+                 .map_err(|e| e.context(\"{label}\"))? }})"
+        ),
+        Shape::Tuple(n) => {
+            let mut out = format!(
+                "{{ let items = value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(format!(\"{label}: expected array, found {{}}\", value.kind())))?;\n\
+                   if items.len() != {n} {{\n\
+                       return Err(::serde::Error::custom(format!(\
+                           \"{label}: expected {n} elements, found {{}}\", items.len())));\n\
+                   }}\n\
+                   Ok({constructor}("
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(&items[{i}])\
+                             .map_err(|e| e.context(\"{label}.{i}\"))?"
+                    )
+                })
+                .collect();
+            out.push_str(&items.join(", "));
+            out.push_str(")) }");
+            out
+        }
+        Shape::Named(fields) => {
+            let mut out = format!(
+                "{{ let obj = value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(format!(\"{label}: expected object, found {{}}\", value.kind())))?;\n\
+                   Ok({constructor} {{\n"
+            );
+            for field in fields {
+                out.push_str(&format!(
+                    "{field}: ::serde::Deserialize::from_value(\
+                         obj.get(\"{field}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.context(\"{label}.{field}\"))?,\n"
+                ));
+            }
+            out.push_str("}) }");
+            out
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            let label = format!("{name}::{}", v.name);
+            let body = deserialize_struct_body(&label, &label, &v.shape);
+            format!("\"{}\" => {{ let value = inner; {body} }}", v.name)
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::custom(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                         let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::Error::custom(format!(\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::Error::custom(format!(\
+                         \"expected {name} variant, found {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let transparent = scan_item_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported by the vendored serde_derive");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let mut shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Shape::Unit,
+            };
+            // `#[serde(transparent)]` on a single-field struct serialises as
+            // the field alone (newtype structs already do, like real serde).
+            if transparent {
+                match &shape {
+                    Shape::Named(fields) if fields.len() == 1 => {
+                        shape = Shape::TransparentNamed(fields[0].clone());
+                    }
+                    Shape::Tuple(1) => {}
+                    other => panic!(
+                        "derive: #[serde(transparent)] on `{name}` requires exactly one field, found {other:?}"
+                    ),
+                }
+            }
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skips `#[...]` attributes (doc comments included) at the cursor.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips item-level attributes like [`skip_attributes`], additionally
+/// reporting whether `#[serde(transparent)]` is among them. Any other
+/// `#[serde(...)]` argument is rejected rather than silently ignored.
+fn scan_item_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut transparent = false;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if let Some(TokenTree::Group(attr)) = tokens.get(*pos) {
+            if attr.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        panic!("derive: malformed #[serde] attribute");
+                    };
+                    for arg in args.stream() {
+                        match &arg {
+                            TokenTree::Ident(i) if i.to_string() == "transparent" => {
+                                transparent = true;
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' => {}
+                            other => panic!(
+                                "derive: #[serde({other})] is not supported by the vendored serde_derive"
+                            ),
+                        }
+                    }
+                }
+                *pos += 1;
+            }
+        }
+    }
+    transparent
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advances past one type expression: consumes tokens until a `,` at
+/// angle-bracket depth zero (groups are single trees, so only `<`/`>` nest).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // consume the comma (or run off the end on the last field)
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        count += 1;
+        skip_type(&tokens, &mut pos);
+        pos += 1; // consume the comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let shape = Shape::Named(parse_named_fields(g.stream()));
+                pos += 1;
+                shape
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let shape = Shape::Tuple(count_tuple_fields(g.stream()));
+                pos += 1;
+                shape
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        while let Some(token) = tokens.get(pos) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            pos += 1;
+        }
+        pos += 1; // consume the comma
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
