@@ -1,0 +1,179 @@
+//! Batched appending into a hash-chained [`AuditLog`].
+//!
+//! Hash-chaining makes every [`AuditLog::record`] call serialise and hash the event
+//! synchronously — fine on control paths, a bottleneck on a dataplane moving millions of
+//! messages. A [`BatchedAppender`] decouples the two: enforcement threads stage events
+//! in an in-memory buffer (one appender per shard, no locks), and the buffer is flushed
+//! into the underlying log **in arrival order**, so the tamper-evident chain is byte-
+//! for-byte identical to what unbatched recording would have produced. The cost of
+//! chaining is still paid per record, but off the hot path and in cache-friendly runs.
+
+use crate::event::AuditEvent;
+use crate::log::AuditLog;
+
+/// Buffers audit events and flushes them, in order, into an append-only hash-chained
+/// [`AuditLog`].
+///
+/// ```
+/// use legaliot_audit::{AuditEvent, BatchedAppender};
+/// let mut appender = BatchedAppender::new("shard-0", 128);
+/// appender.append(
+///     AuditEvent::PolicyFired { policy: "p".into(), trigger: "t".into(), actions: 1 },
+///     10,
+/// );
+/// assert_eq!(appender.buffered(), 1);
+/// let log = appender.into_log(); // final flush included
+/// assert_eq!(log.len(), 1);
+/// assert!(log.verify_chain().is_intact());
+/// ```
+#[derive(Debug)]
+pub struct BatchedAppender {
+    log: AuditLog,
+    buffer: Vec<(AuditEvent, u64)>,
+    capacity: usize,
+    retention: Option<usize>,
+}
+
+impl BatchedAppender {
+    /// Creates an appender flushing into a fresh log recorded by `authority`, auto-
+    /// flushing whenever `capacity` events are buffered. A capacity of 1 degenerates to
+    /// unbatched recording (useful as an experimental baseline).
+    pub fn new(authority: impl Into<String>, capacity: usize) -> Self {
+        Self::over(AuditLog::new(authority), capacity)
+    }
+
+    /// Creates an appender flushing into an existing log (e.g. one resumed after an
+    /// offload), preserving its chain anchor.
+    pub fn over(log: AuditLog, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BatchedAppender { log, buffer: Vec::with_capacity(capacity), capacity, retention: None }
+    }
+
+    /// Bounds in-memory retention: once the log exceeds `2 × keep` records after a
+    /// flush, it is pruned back to the newest `keep` via [`AuditLog::retain_recent`]
+    /// (the chain stays anchored and verifiable; the hysteresis keeps pruning
+    /// amortised O(1) per record). `None` (the default) retains everything.
+    pub fn with_retention(mut self, keep: Option<usize>) -> Self {
+        self.retention = keep.map(|k| k.max(1));
+        self
+    }
+
+    /// Stages an event; flushes the whole buffer into the log once `capacity` events
+    /// are pending.
+    pub fn append(&mut self, event: AuditEvent, at_millis: u64) {
+        self.buffer.push((event, at_millis));
+        if self.buffer.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Writes every buffered event into the log, in arrival order, then applies the
+    /// retention bound (if configured).
+    pub fn flush(&mut self) {
+        for (event, at) in self.buffer.drain(..) {
+            self.log.record(event, at);
+        }
+        if let Some(keep) = self.retention {
+            if self.log.len() >= keep.saturating_mul(2) {
+                self.log.retain_recent(keep);
+            }
+        }
+    }
+
+    /// Number of events staged but not yet written to the log.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The configured auto-flush threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The underlying log as flushed so far. Staged events ([`Self::buffered`]) are not
+    /// visible here until [`Self::flush`] runs.
+    pub fn log(&self) -> &AuditLog {
+        &self.log
+    }
+
+    /// Flushes any staged events and returns the completed log.
+    pub fn into_log(mut self) -> AuditLog {
+        self.flush();
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AuditEventKind;
+
+    fn event(n: usize) -> AuditEvent {
+        AuditEvent::PolicyFired { policy: format!("p{n}"), trigger: "t".into(), actions: n }
+    }
+
+    #[test]
+    fn auto_flush_at_capacity_preserves_order_and_chain() {
+        let mut appender = BatchedAppender::new("shard-0", 4);
+        for n in 0..10 {
+            appender.append(event(n), n as u64);
+        }
+        // 10 events, capacity 4: two auto-flushes have happened, two events staged.
+        assert_eq!(appender.log().len(), 8);
+        assert_eq!(appender.buffered(), 2);
+        assert_eq!(appender.capacity(), 4);
+        let log = appender.into_log();
+        assert_eq!(log.len(), 10);
+        assert!(log.verify_chain().is_intact());
+        // Order is arrival order.
+        let times: Vec<u64> = log.records().iter().map(|r| r.at_millis).collect();
+        assert_eq!(times, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn batched_chain_equals_unbatched_chain() {
+        let mut unbatched = AuditLog::new("node");
+        let mut appender = BatchedAppender::new("node", 8);
+        for n in 0..20 {
+            unbatched.record(event(n), n as u64);
+            appender.append(event(n), n as u64);
+        }
+        let batched = appender.into_log();
+        // Identical inputs produce the identical tamper-evident chain.
+        assert_eq!(batched, unbatched);
+    }
+
+    #[test]
+    fn over_resumes_an_existing_log() {
+        let mut log = AuditLog::new("gateway");
+        log.record(event(0), 0);
+        let mut appender = BatchedAppender::over(log, 2);
+        appender.append(event(1), 1);
+        appender.flush();
+        let log = appender.into_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.verify_chain().is_intact());
+        assert_eq!(log.of_kind(AuditEventKind::PolicyFired).count(), 2);
+    }
+
+    #[test]
+    fn retention_bounds_the_log_after_flushes() {
+        let mut appender = BatchedAppender::new("n", 4).with_retention(Some(6));
+        for n in 0..40 {
+            appender.append(event(n), n as u64);
+        }
+        let log = appender.into_log();
+        assert!(log.len() <= 12, "retention keeps the log near 2x its bound, got {}", log.len());
+        assert!(log.verify_chain().is_intact());
+        // The newest records survive.
+        assert_eq!(log.records().last().unwrap().at_millis, 39);
+    }
+
+    #[test]
+    fn capacity_one_is_unbatched() {
+        let mut appender = BatchedAppender::new("n", 0); // clamped to 1
+        appender.append(event(0), 0);
+        assert_eq!(appender.buffered(), 0);
+        assert_eq!(appender.log().len(), 1);
+    }
+}

@@ -21,6 +21,8 @@ impl fmt::Display for RecordId {
 pub enum AuditEventKind {
     /// A data flow was checked (and allowed or denied).
     FlowChecked,
+    /// An aggregated count of repeated flow checks between one entity pair.
+    FlowSummary,
     /// An entity changed its own security context (declassification/endorsement).
     LabelChanged,
     /// A privilege was granted or revoked.
@@ -41,6 +43,7 @@ impl fmt::Display for AuditEventKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             AuditEventKind::FlowChecked => "flow-checked",
+            AuditEventKind::FlowSummary => "flow-summary",
             AuditEventKind::LabelChanged => "label-changed",
             AuditEventKind::PrivilegeChanged => "privilege-changed",
             AuditEventKind::Reconfigured => "reconfigured",
@@ -73,6 +76,30 @@ pub enum AuditEvent {
         decision: FlowDecision,
         /// Optional name of the data item transferred (present when allowed).
         data_item: Option<String>,
+    },
+    /// Aggregated record of repeated flow checks between one `(source, destination)`
+    /// pair whose decision was served from a flow-decision cache.
+    ///
+    /// High-throughput enforcement points audit the *first* check of a context pair in
+    /// full (a [`AuditEvent::FlowChecked`] record carrying both contexts and the
+    /// decision) and fold repeats into one summary per pair, preserving the "all
+    /// attempted flows are evidenced" property (§8.3) at a fraction of the per-message
+    /// cost. The summary's counts total **every** check in its window — including
+    /// checks that were also recorded individually (first-of-pair records, denials) —
+    /// so the summary alone answers "how many flows were attempted/denied".
+    FlowSummary {
+        /// Name of the source entity.
+        source: String,
+        /// Name of the destination entity.
+        destination: String,
+        /// Number of checks in the window that were allowed.
+        allowed: u64,
+        /// Number of checks in the window that were denied.
+        denied: u64,
+        /// Timestamp (millis) of the first check folded into this summary.
+        window_start_millis: u64,
+        /// Timestamp (millis) of the last check folded into this summary.
+        window_end_millis: u64,
     },
     /// An entity changed its own labels, naming the approved transformation applied.
     LabelChanged {
@@ -156,6 +183,7 @@ impl AuditEvent {
     pub fn kind(&self) -> AuditEventKind {
         match self {
             AuditEvent::FlowChecked { .. } => AuditEventKind::FlowChecked,
+            AuditEvent::FlowSummary { .. } => AuditEventKind::FlowSummary,
             AuditEvent::LabelChanged { .. } => AuditEventKind::LabelChanged,
             AuditEvent::PrivilegeChanged { .. } => AuditEventKind::PrivilegeChanged,
             AuditEvent::Reconfigured { .. } => AuditEventKind::Reconfigured,
@@ -185,6 +213,9 @@ impl AuditEvent {
                 }
                 v
             }
+            AuditEvent::FlowSummary { source, destination, .. } => {
+                vec![source.as_str(), destination.as_str()]
+            }
             AuditEvent::LabelChanged { entity, .. } => vec![entity.as_str()],
             AuditEvent::PrivilegeChanged { entity, authority, .. } => {
                 vec![entity.as_str(), authority.as_str()]
@@ -209,6 +240,9 @@ impl fmt::Display for AuditEvent {
         match self {
             AuditEvent::FlowChecked { source, destination, decision, .. } => {
                 write!(f, "flow {source} -> {destination}: {decision}")
+            }
+            AuditEvent::FlowSummary { source, destination, allowed, denied, .. } => {
+                write!(f, "flows {source} -> {destination}: {allowed} allowed, {denied} denied")
             }
             AuditEvent::LabelChanged { entity, algorithm, .. } => match algorithm {
                 Some(a) => write!(f, "{entity} changed context via {a}"),
@@ -334,6 +368,7 @@ mod tests {
         assert!(s.contains("denied"));
         let kinds = [
             AuditEventKind::FlowChecked,
+            AuditEventKind::FlowSummary,
             AuditEventKind::LabelChanged,
             AuditEventKind::PrivilegeChanged,
             AuditEventKind::Reconfigured,
@@ -350,5 +385,24 @@ mod tests {
     #[test]
     fn record_id_display() {
         assert_eq!(RecordId(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn flow_summary_event() {
+        let e = AuditEvent::FlowSummary {
+            source: "sensor".into(),
+            destination: "analyser".into(),
+            allowed: 41,
+            denied: 1,
+            window_start_millis: 10,
+            window_end_millis: 500,
+        };
+        assert_eq!(e.kind(), AuditEventKind::FlowSummary);
+        // A summary aggregates; it is not itself a denied flow record.
+        assert!(!e.is_denied_flow());
+        assert_eq!(e.entities(), vec!["sensor", "analyser"]);
+        let s = e.to_string();
+        assert!(s.contains("41 allowed"));
+        assert!(s.contains("1 denied"));
     }
 }

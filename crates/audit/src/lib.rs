@@ -21,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod event;
 pub mod log;
 pub mod provenance;
 
+pub use batch::BatchedAppender;
 pub use event::{AuditEvent, AuditEventKind, AuditRecord, RecordId};
 pub use log::{AuditLog, ChainVerification, PruneOutcome};
 pub use provenance::{NodeId, NodeKind, ProvenanceEdge, ProvenanceGraph, ProvenanceNode, Relation};

@@ -1,7 +1,7 @@
 //! The append-only, hash-chained audit log.
 //!
 //! Tamper evidence is provided by chaining each record's hash with its predecessor's
-//! (the paper cites hardware-backed secure logs, e.g. BBox [6]; we model the chain in
+//! (the paper cites hardware-backed secure logs, e.g. BBox \[6\]; we model the chain in
 //! software — the integrity *property* is what compliance checking relies on).
 //! Challenge 6 asks "when can logs safely be pruned? Can logs be offloaded to others for
 //! distributed audit?" — [`AuditLog::prune_before`] and [`AuditLog::offload`] model
@@ -179,14 +179,9 @@ impl AuditLog {
         ChainVerification::Intact { records: self.records.len() }
     }
 
-    /// Prunes all records recorded strictly before `before_millis`, keeping the chain
-    /// verifiable by anchoring on the last pruned record's hash.
-    pub fn prune_before(&mut self, before_millis: u64) -> PruneOutcome {
-        let split = self
-            .records
-            .iter()
-            .position(|r| r.at_millis >= before_millis)
-            .unwrap_or(self.records.len());
+    /// Drops the oldest `split` records, re-anchoring the retained chain on the last
+    /// pruned record's hash so verification still succeeds across the cut.
+    fn prune_at(&mut self, split: usize) -> PruneOutcome {
         let removed: Vec<AuditRecord> = self.records.drain(..split).collect();
         if let Some(last) = removed.last() {
             self.anchor_hash = last.hash;
@@ -196,6 +191,26 @@ impl AuditLog {
             retained: self.records.len(),
             anchor_hash: self.anchor_hash,
         }
+    }
+
+    /// Prunes all records recorded strictly before `before_millis`, keeping the chain
+    /// verifiable by anchoring on the last pruned record's hash.
+    pub fn prune_before(&mut self, before_millis: u64) -> PruneOutcome {
+        let split = self
+            .records
+            .iter()
+            .position(|r| r.at_millis >= before_millis)
+            .unwrap_or(self.records.len());
+        self.prune_at(split)
+    }
+
+    /// Keeps only the newest `keep` records, pruning older ones while anchoring the
+    /// retained chain on the last pruned record's hash (like [`Self::prune_before`],
+    /// but positional). This is the bounded in-memory retention used by long-running
+    /// enforcement points: tamper evidence for the retained window survives, and the
+    /// anchor proves continuity with the pruned history.
+    pub fn retain_recent(&mut self, keep: usize) -> PruneOutcome {
+        self.prune_at(self.records.len().saturating_sub(keep))
     }
 
     /// Offloads (moves) all current records into a new log destined for a remote
@@ -303,6 +318,27 @@ mod tests {
         assert!(log.verify_chain().is_intact());
         // Record ids keep increasing across pruning.
         assert_eq!(log.records().last().unwrap().id, RecordId(10));
+    }
+
+    #[test]
+    fn retain_recent_bounds_the_log_and_keeps_chain() {
+        let mut log = AuditLog::new("node-a");
+        for t in 0..10 {
+            log.record(flow_event("s", "d", false), t);
+        }
+        let outcome = log.retain_recent(3);
+        assert_eq!(outcome.removed, 7);
+        assert_eq!(outcome.retained, 3);
+        assert_eq!(log.len(), 3);
+        assert!(log.verify_chain().is_intact());
+        // Ids keep increasing and new records still chain on.
+        log.record(flow_event("s", "d", false), 99);
+        assert!(log.verify_chain().is_intact());
+        assert_eq!(log.records().last().unwrap().id, RecordId(10));
+        // A no-op when already within bounds.
+        let outcome = log.retain_recent(100);
+        assert_eq!(outcome.removed, 0);
+        assert_eq!(outcome.retained, 4);
     }
 
     #[test]

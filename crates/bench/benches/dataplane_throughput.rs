@@ -1,0 +1,116 @@
+//! Dataplane throughput: ≥1M messages per configuration through the smart-home
+//! (Fig. 7) and smart-city topologies, comparing the single-shard uncached baseline
+//! (one lattice walk + one full audit record per message, as the synchronous bus does)
+//! against the sharded, decision-cached, audit-summarising dataplane.
+//!
+//! Each sample publishes `MESSAGES_PER_SAMPLE` messages and drains; the reported median
+//! divided by `MESSAGES_PER_SAMPLE` is the per-message cost. The companion example
+//! (`cargo run --release --example dataplane_throughput`) prints absolute msgs/s and
+//! speedups for the same configurations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_dataplane::{
+    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, Topology,
+};
+
+/// Messages driven per sample; with warm-up plus the default sample count this pushes
+/// well over a million messages per configuration through each topology.
+const MESSAGES_PER_SAMPLE: u64 = 50_000;
+
+/// In-memory audit retention per shard: engines persist across samples, so the log is
+/// bounded (chain-anchored pruning) to keep memory flat for every configuration.
+const AUDIT_RETENTION: Option<usize> = Some(65_536);
+
+fn config(label: &str) -> DataplaneConfig {
+    match label {
+        "1shard_uncached_full" => DataplaneConfig {
+            shards: 1,
+            cache_decisions: false,
+            audit_detail: AuditDetail::Full,
+            audit_batch: 1,
+            audit_retention: AUDIT_RETENTION,
+            ..DataplaneConfig::default()
+        },
+        "1shard_cached_summarised" => DataplaneConfig {
+            shards: 1,
+            cache_decisions: true,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: AUDIT_RETENTION,
+            ..DataplaneConfig::default()
+        },
+        "4shard_cached_summarised" => DataplaneConfig {
+            shards: 4,
+            cache_decisions: true,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: AUDIT_RETENTION,
+            ..DataplaneConfig::default()
+        },
+        other => unreachable!("unknown config label {other}"),
+    }
+}
+
+fn installed(topology: &Topology, label: &str) -> Dataplane {
+    let dataplane = Dataplane::new(topology.name.clone(), config(label));
+    topology
+        .install(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+        .expect("topology installs");
+    dataplane
+}
+
+fn drive(dataplane: &Dataplane, publishers: &[String], messages: u64) {
+    let mut published = 0u64;
+    let mut clock = 2u64;
+    'outer: loop {
+        for publisher in publishers {
+            published += dataplane.publish(publisher, Timestamp(clock)).unwrap() as u64;
+            clock += 1;
+            if published >= messages {
+                break 'outer;
+            }
+        }
+    }
+    dataplane.drain();
+}
+
+fn bench_topology(c: &mut Criterion, topology: &Topology) {
+    let mut group = c.benchmark_group(format!("dataplane_{}", topology.name));
+    let publishers = topology.publishers();
+    for label in ["1shard_uncached_full", "1shard_cached_summarised", "4shard_cached_summarised"] {
+        // One engine per configuration, reused across samples: worker spawn/join stays
+        // out of the measurement and cached configurations run at steady state.
+        let dataplane = installed(topology, label);
+        group.bench_with_input(
+            BenchmarkId::new(label, MESSAGES_PER_SAMPLE),
+            &MESSAGES_PER_SAMPLE,
+            |bencher, &messages| {
+                bencher.iter(|| drive(&dataplane, &publishers, messages));
+            },
+        );
+        drop(dataplane);
+    }
+    group.finish();
+}
+
+fn bench_smart_home(c: &mut Criterion) {
+    bench_topology(c, &smart_home(8, 2016));
+}
+
+fn bench_smart_city(c: &mut Criterion) {
+    bench_topology(c, &smart_city(4, 8));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(5));
+    targets = bench_smart_home, bench_smart_city
+}
+criterion_main!(benches);

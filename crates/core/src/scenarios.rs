@@ -274,10 +274,16 @@ impl HomeMonitoringScenario {
                     "value",
                     legaliot_middleware::AttributeValue::Integer(reading.heart_rate as i64),
                 );
-                self.deployment
-                    .send(&reading.sensor, &format!("{}-analyser", patient.name), message)
-                    .expect("components exist")
-                    .is_delivered()
+                match self.deployment.send(
+                    &reading.sensor,
+                    &format!("{}-analyser", patient.name),
+                    message,
+                ) {
+                    Ok(outcome) => outcome.is_delivered(),
+                    // A policy may have torn the channel down mid-run; count as denied.
+                    Err(legaliot_middleware::MiddlewareError::ChannelClosed { .. }) => false,
+                    Err(e) => panic!("components exist: {e}"),
+                }
             } else {
                 self.relay_third_party_reading(&patient.name, reading.heart_rate as i64)
             };

@@ -1,0 +1,621 @@
+//! The dataplane engine: registration, subscription (admission-checked channels),
+//! sharded publishing, context changes with cache invalidation, and shutdown reports.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use parking_lot::RwLock;
+
+use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
+use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_ifc::{context_hash64, CacheStats, SecurityContext};
+use legaliot_middleware::admission::admit_channel;
+use legaliot_middleware::{AccessRegime, Component, DeliveryOutcome};
+
+use crate::shard::{run_worker, ShardReport, ShardState, ShardTask};
+
+/// How much audit evidence the data path records per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditDetail {
+    /// One full `FlowChecked` record (both contexts + decision) per message — the
+    /// paper's "all attempted flows are evidenced" reading, and what the synchronous
+    /// middleware bus does.
+    Full,
+    /// Full records for every IFC denial and for the first check of each context pair;
+    /// repeats fold into one `FlowSummary` per `(source, destination)` pair, emitted at
+    /// shutdown, whose counts total *every* check in the window (including the ones
+    /// also recorded individually). Isolation denials carry no flow check, so they
+    /// appear in the summary counts and on the control-plane log only. Orders of
+    /// magnitude cheaper than [`AuditDetail::Full`] at high message rates.
+    Summarised,
+}
+
+/// Tuning knobs for a [`Dataplane`].
+#[derive(Debug, Clone)]
+pub struct DataplaneConfig {
+    /// Number of worker shards (threads). Components hash onto shards by name.
+    pub shards: usize,
+    /// Bounded ingress-queue capacity per shard; full queues backpressure publishers.
+    pub queue_capacity: usize,
+    /// Whether to cache flow decisions per `(source ctx hash, destination ctx hash)`.
+    pub cache_decisions: bool,
+    /// Maximum cached decisions per shard.
+    pub cache_capacity: usize,
+    /// Events buffered per shard before a batched flush into the hash-chained log.
+    pub audit_batch: usize,
+    /// Per-message audit policy.
+    pub audit_detail: AuditDetail,
+    /// Bounded in-memory audit retention per shard: after each flush only the newest
+    /// `keep` records stay resident (the chain remains anchored and verifiable — see
+    /// [`legaliot_audit::AuditLog::retain_recent`]). `None` retains everything, which
+    /// is unbounded memory under [`AuditDetail::Full`] at dataplane rates.
+    pub audit_retention: Option<usize>,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            shards: 4,
+            queue_capacity: 4096,
+            cache_decisions: true,
+            cache_capacity: legaliot_ifc::DecisionCache::DEFAULT_CAPACITY,
+            audit_batch: 1024,
+            audit_detail: AuditDetail::Summarised,
+            audit_retention: None,
+        }
+    }
+}
+
+/// Errors from dataplane operations (enforcement denials are outcomes, not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataplaneError {
+    /// The referenced endpoint is not registered.
+    UnknownEndpoint {
+        /// The missing endpoint's name.
+        name: String,
+    },
+    /// A shard's ingress queue is full and the caller asked not to block.
+    QueueFull {
+        /// The shard whose queue is full.
+        shard: usize,
+        /// The configured per-shard queue capacity.
+        capacity: usize,
+    },
+    /// An endpoint with this name is already registered.
+    DuplicateEndpoint {
+        /// The conflicting name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DataplaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataplaneError::UnknownEndpoint { name } => write!(f, "unknown endpoint `{name}`"),
+            DataplaneError::QueueFull { shard, capacity } => {
+                write!(f, "ingress queue of shard {shard} is full (capacity {capacity})")
+            }
+            DataplaneError::DuplicateEndpoint { name } => {
+                write!(f, "endpoint `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataplaneError {}
+
+/// A registered endpoint: its component (context, principal, isolation), its shard, its
+/// current stable context hash, and its subscribers.
+#[derive(Debug)]
+pub(crate) struct Endpoint {
+    pub component: Component,
+    pub context_hash: u64,
+    pub shard: usize,
+    /// `(subscriber name, subscriber's shard)`, admission-checked at subscribe time.
+    /// Behind an `Arc` so `publish` can snapshot the fan-out with one refcount bump
+    /// instead of cloning the list on every message.
+    pub subscribers: Arc<Vec<(Arc<str>, usize)>>,
+}
+
+/// Shared mutable state: the endpoint directory and the AC regime, plus the
+/// control-plane audit appender (subscriptions, context changes).
+#[derive(Debug)]
+pub(crate) struct Directory {
+    pub endpoints: HashMap<Arc<str>, Endpoint>,
+    pub access: AccessRegime,
+    pub control_audit: BatchedAppender,
+}
+
+/// State shared between the engine handle and the shard workers.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub name: String,
+    pub directory: RwLock<Directory>,
+    pub shards: Vec<ShardState>,
+}
+
+/// Aggregated live statistics across all shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataplaneStats {
+    /// Messages fanned out to shard queues by `publish`/`try_publish`.
+    pub published: u64,
+    /// Messages whose flow check allowed delivery.
+    pub delivered: u64,
+    /// Messages denied (IFC or isolation).
+    pub denied: u64,
+    /// Messages dropped because an endpoint had been deregistered mid-flight.
+    pub missing_endpoint: u64,
+    /// Decision-cache hits across shards.
+    pub cache_hits: u64,
+    /// Decision-cache misses across shards.
+    pub cache_misses: u64,
+}
+
+impl DataplaneStats {
+    /// Cache hit ratio in `[0, 1]`; `0` before any lookups.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything a dataplane hands back at shutdown.
+#[derive(Debug)]
+pub struct DataplaneReport {
+    /// Final aggregated statistics.
+    pub stats: DataplaneStats,
+    /// Per-shard hash-chained audit logs (flow checks and summaries), index-aligned
+    /// with the shard numbering.
+    pub shard_audit: Vec<AuditLog>,
+    /// The control-plane audit log (subscriptions, context changes, isolation).
+    pub control_audit: AuditLog,
+    /// Per-shard decision-cache statistics.
+    pub cache_stats: Vec<CacheStats>,
+}
+
+impl DataplaneReport {
+    /// All audit records (control plane + every shard) merged into one timeline.
+    pub fn merged_timeline(&self) -> Vec<legaliot_audit::AuditRecord> {
+        AuditLog::merged_timeline(
+            self.shard_audit.iter().chain(std::iter::once(&self.control_audit)),
+        )
+    }
+}
+
+/// A sharded, decision-cached publish/subscribe enforcement engine.
+///
+/// The paper's enforcement model (§8.2.2) — admission checks at channel establishment,
+/// IFC on every message, re-evaluation on security-context change — run at dataplane
+/// rates: components shard across worker threads by name hash, each shard enforces its
+/// own subscribers' traffic against a private flow-decision cache, and audit is written
+/// through per-shard batched appenders whose chains stay tamper-evident.
+///
+/// ```
+/// use legaliot_context::{ContextSnapshot, Timestamp};
+/// use legaliot_dataplane::{Dataplane, DataplaneConfig};
+/// use legaliot_ifc::SecurityContext;
+/// use legaliot_middleware::{Component, Principal};
+///
+/// let dataplane = Dataplane::new("example", DataplaneConfig::default());
+/// let ctx = SecurityContext::from_names(["medical"], Vec::<&str>::new());
+/// for name in ["sensor", "analyser"] {
+///     dataplane
+///         .register(Component::builder(name, Principal::new("ann")).context(ctx.clone()).build())
+///         .unwrap();
+///     dataplane.allow_sends_to(name);
+/// }
+/// let snapshot = ContextSnapshot::default();
+/// let admitted = dataplane.subscribe("sensor", "analyser", &snapshot, Timestamp(1)).unwrap();
+/// assert!(admitted.is_delivered());
+/// dataplane.publish("sensor", Timestamp(2)).unwrap();
+/// dataplane.drain();
+/// assert_eq!(dataplane.stats().delivered, 1);
+/// let report = dataplane.shutdown();
+/// assert!(report.shard_audit.iter().all(|log| log.verify_chain().is_intact()));
+/// ```
+#[derive(Debug)]
+pub struct Dataplane {
+    shared: Arc<SharedState>,
+    workers: Vec<JoinHandle<ShardReport>>,
+    config: DataplaneConfig,
+    published: std::sync::atomic::AtomicU64,
+}
+
+impl Dataplane {
+    /// Creates the engine and spawns one worker thread per shard.
+    pub fn new(name: impl Into<String>, config: DataplaneConfig) -> Self {
+        let name = name.into();
+        let shards = config.shards.max(1);
+        let shared = Arc::new(SharedState {
+            directory: RwLock::new(Directory {
+                endpoints: HashMap::new(),
+                access: AccessRegime::new(),
+                control_audit: BatchedAppender::new(format!("{name}-control"), 1),
+            }),
+            shards: (0..shards).map(|_| ShardState::new(config.queue_capacity)).collect(),
+            name,
+        });
+        let workers = (0..shards)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let config = config.clone();
+                thread::spawn(move || run_worker(index, shared, config))
+            })
+            .collect();
+        Dataplane { shared, workers, config, published: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &DataplaneConfig {
+        &self.config
+    }
+
+    /// The shard a component name routes to (stable FNV-1a of the name, the same hash
+    /// family the decision cache uses).
+    pub fn shard_of(&self, name: &str) -> usize {
+        (legaliot_ifc::str_hash64(name) % self.shared.shards.len() as u64) as usize
+    }
+
+    /// Registers a component as a dataplane endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::DuplicateEndpoint`] if the name is taken.
+    pub fn register(&self, component: Component) -> Result<(), DataplaneError> {
+        let name: Arc<str> = Arc::from(component.name());
+        let shard = self.shard_of(&name);
+        let context_hash = context_hash64(component.context());
+        let mut directory = self.shared.directory.write();
+        if directory.endpoints.contains_key(&name) {
+            return Err(DataplaneError::DuplicateEndpoint { name: name.to_string() });
+        }
+        directory.endpoints.insert(
+            name,
+            Endpoint { component, context_hash, shard, subscribers: Arc::new(Vec::new()) },
+        );
+        Ok(())
+    }
+
+    /// Removes an endpoint and every subscription involving it. In-flight messages to
+    /// or from it are dropped (counted as `missing_endpoint`).
+    pub fn deregister(&self, name: &str) -> Result<(), DataplaneError> {
+        let mut directory = self.shared.directory.write();
+        if directory.endpoints.remove(name).is_none() {
+            return Err(DataplaneError::UnknownEndpoint { name: name.to_string() });
+        }
+        for endpoint in directory.endpoints.values_mut() {
+            if endpoint.subscribers.iter().any(|(sub, _)| &**sub == name) {
+                Arc::make_mut(&mut endpoint.subscribers).retain(|(sub, _)| &**sub != name);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mutates the access-control regime admission checks run against. Rules use the
+    /// same vocabulary as the synchronous bus ([`legaliot_middleware::AccessRule`]).
+    pub fn with_access<R>(&self, f: impl FnOnce(&mut AccessRegime) -> R) -> R {
+        f(&mut self.shared.directory.write().access)
+    }
+
+    /// Convenience: allows anyone to `Send` to `name` (the common pub/sub default;
+    /// without any rule the regime is default-deny, as in the bus).
+    pub fn allow_sends_to(&self, name: &str) {
+        use legaliot_middleware::{AccessRule, Operation, Subject};
+        self.with_access(|access| {
+            access.add_rule(name, AccessRule::allow(Subject::Anyone, Operation::Send, None));
+        });
+    }
+
+    /// Admission-checks and establishes the subscription `subscriber ← publisher`
+    /// (messages published by `publisher` flow to `subscriber`).
+    ///
+    /// Runs the full §8.2.2 admission sequence (isolation → AC → IFC) via
+    /// [`legaliot_middleware::admission::admit_channel`]; the subscription is recorded
+    /// only when admitted, and the attempt is audited on the control-plane log either
+    /// way. Per-message enforcement still re-checks IFC against current contexts.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::UnknownEndpoint`] if either endpoint is unregistered.
+    pub fn subscribe(
+        &self,
+        publisher: &str,
+        subscriber: &str,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Result<DeliveryOutcome, DataplaneError> {
+        let mut directory = self.shared.directory.write();
+        // Reuse the stored key so subscriber lists share one allocation per name.
+        let subscriber_key: Arc<str> = directory
+            .endpoints
+            .get_key_value(subscriber)
+            .map(|(key, _)| Arc::clone(key))
+            .ok_or_else(|| DataplaneError::UnknownEndpoint { name: subscriber.to_string() })?;
+        let subscriber_shard = directory.endpoints[&subscriber_key].shard;
+        let outcome = {
+            let source = directory
+                .endpoints
+                .get(publisher)
+                .ok_or_else(|| DataplaneError::UnknownEndpoint { name: publisher.to_string() })?;
+            let destination = &directory.endpoints[&subscriber_key];
+            admit_channel(
+                &source.component,
+                &destination.component,
+                &directory.access,
+                snapshot,
+                now,
+            )
+        };
+        let admitted = outcome.is_delivered();
+        if admitted {
+            let publisher_endpoint = directory.endpoints.get_mut(publisher).expect("checked above");
+            if !publisher_endpoint
+                .subscribers
+                .iter()
+                .any(|(existing, _)| *existing == subscriber_key)
+            {
+                Arc::make_mut(&mut publisher_endpoint.subscribers)
+                    .push((subscriber_key, subscriber_shard));
+            }
+        }
+        directory.control_audit.append(
+            AuditEvent::ChannelChanged {
+                from: publisher.to_string(),
+                to: subscriber.to_string(),
+                established: admitted,
+                reason: match &outcome {
+                    DeliveryOutcome::Delivered { .. } => "admission checks passed".to_string(),
+                    DeliveryOutcome::Isolated => "endpoint isolated".to_string(),
+                    DeliveryOutcome::DeniedByAccessControl { reason } => reason.clone(),
+                    DeliveryOutcome::DeniedByIfc(decision) => format!("ifc: {decision}"),
+                    other => format!("{other:?}"),
+                },
+            },
+            now.as_millis(),
+        );
+        Ok(outcome)
+    }
+
+    /// Removes the subscription `subscriber ← publisher`, if present.
+    pub fn unsubscribe(&self, publisher: &str, subscriber: &str) -> Result<(), DataplaneError> {
+        let mut directory = self.shared.directory.write();
+        let endpoint = directory
+            .endpoints
+            .get_mut(publisher)
+            .ok_or_else(|| DataplaneError::UnknownEndpoint { name: publisher.to_string() })?;
+        Arc::make_mut(&mut endpoint.subscribers).retain(|(sub, _)| &**sub != subscriber);
+        Ok(())
+    }
+
+    /// Collects the current fan-out of `publisher` without holding the directory lock
+    /// during queue pushes (a blocked push must never hold the lock a worker needs).
+    #[allow(clippy::type_complexity)]
+    fn fanout(
+        &self,
+        publisher: &str,
+    ) -> Result<(Arc<str>, Arc<Vec<(Arc<str>, usize)>>), DataplaneError> {
+        let directory = self.shared.directory.read();
+        let (key, endpoint) = directory
+            .endpoints
+            .get_key_value(publisher)
+            .ok_or_else(|| DataplaneError::UnknownEndpoint { name: publisher.to_string() })?;
+        Ok((Arc::clone(key), Arc::clone(&endpoint.subscribers)))
+    }
+
+    /// Publishes one message from `publisher` to every admitted subscriber, blocking on
+    /// full shard queues (backpressure). Returns the number of deliveries enqueued.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::UnknownEndpoint`] if the publisher is unregistered.
+    pub fn publish(&self, publisher: &str, now: Timestamp) -> Result<usize, DataplaneError> {
+        let (from, subscribers) = self.fanout(publisher)?;
+        for (to, shard) in subscribers.iter() {
+            let task = ShardTask::Deliver {
+                from: Arc::clone(&from),
+                to: Arc::clone(to),
+                at_millis: now.as_millis(),
+            };
+            self.shared.shards[*shard].counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            self.shared.shards[*shard].queue.push(task);
+        }
+        self.published.fetch_add(subscribers.len() as u64, Ordering::Relaxed);
+        Ok(subscribers.len())
+    }
+
+    /// Like [`Self::publish`] but fails with [`DataplaneError::QueueFull`] instead of
+    /// blocking. Deliveries already enqueued for earlier subscribers stay enqueued.
+    pub fn try_publish(&self, publisher: &str, now: Timestamp) -> Result<usize, DataplaneError> {
+        let (from, subscribers) = self.fanout(publisher)?;
+        let mut enqueued = 0;
+        for (to, shard) in subscribers.iter() {
+            let task = ShardTask::Deliver {
+                from: Arc::clone(&from),
+                to: Arc::clone(to),
+                at_millis: now.as_millis(),
+            };
+            self.shared.shards[*shard].counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            if self.shared.shards[*shard].queue.try_push(task).is_err() {
+                self.shared.shards[*shard].counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
+                return Err(DataplaneError::QueueFull {
+                    shard: *shard,
+                    capacity: self.shared.shards[*shard].queue.capacity(),
+                });
+            }
+            enqueued += 1;
+        }
+        self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
+        Ok(enqueued)
+    }
+
+    /// Changes an entity's security context and broadcasts invalidation of its old
+    /// cached decisions to every shard, preserving the paper's re-evaluation-on-
+    /// context-change semantics: no decision computed against the superseded context
+    /// survives, and the next message on any of the entity's channels re-walks the
+    /// lattice. The change is audited on the control-plane log.
+    pub fn set_context(
+        &self,
+        name: &str,
+        context: SecurityContext,
+        now: Timestamp,
+    ) -> Result<(), DataplaneError> {
+        let old_hash = {
+            let mut directory = self.shared.directory.write();
+            let endpoint = directory
+                .endpoints
+                .get_mut(name)
+                .ok_or_else(|| DataplaneError::UnknownEndpoint { name: name.to_string() })?;
+            let old_hash = endpoint.context_hash;
+            let before = endpoint.component.context().clone();
+            endpoint.component.entity_mut().set_context_trusted(context.clone());
+            endpoint.context_hash = context_hash64(&context);
+            directory.control_audit.append(
+                AuditEvent::LabelChanged {
+                    entity: name.to_string(),
+                    before,
+                    after: context,
+                    algorithm: None,
+                },
+                now.as_millis(),
+            );
+            old_hash
+        };
+        // Broadcast after releasing the write lock: a full queue must not deadlock the
+        // workers (which take the read lock) against this writer.
+        for shard in &self.shared.shards {
+            shard.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            shard.queue.push(ShardTask::Invalidate { context_hash: old_hash });
+        }
+        Ok(())
+    }
+
+    /// Isolates or de-isolates an endpoint; while isolated, every delivery involving it
+    /// is denied (§8.2.2 isolation is monitored throughout the connection's lifetime).
+    /// The change is audited on the control-plane log — per-message isolation denials
+    /// are counted (stats and, in summarised mode, per-pair summaries) but carry no
+    /// individual flow-check record, as no flow check ran.
+    pub fn set_isolated(
+        &self,
+        name: &str,
+        isolated: bool,
+        now: Timestamp,
+    ) -> Result<(), DataplaneError> {
+        let mut directory = self.shared.directory.write();
+        let endpoint = directory
+            .endpoints
+            .get_mut(name)
+            .ok_or_else(|| DataplaneError::UnknownEndpoint { name: name.to_string() })?;
+        endpoint.component.set_isolated(isolated);
+        directory.control_audit.append(
+            AuditEvent::Reconfigured {
+                component: name.to_string(),
+                issued_by: self.shared.name.clone(),
+                action: if isolated { "isolate".to_string() } else { "deisolate".to_string() },
+                accepted: true,
+            },
+            now.as_millis(),
+        );
+        Ok(())
+    }
+
+    /// Blocks until every enqueued task has been fully processed by its shard.
+    pub fn drain(&self) {
+        let mut spins = 0u32;
+        loop {
+            let in_flight: u64 = self
+                .shared
+                .shards
+                .iter()
+                .map(|shard| shard.counters.in_flight.load(Ordering::SeqCst))
+                .sum();
+            if in_flight == 0 {
+                return;
+            }
+            // Yield first (cheap when the workers just need the core), then back off
+            // to short sleeps so a long drain does not pin a core busy-waiting.
+            if spins < 64 {
+                spins += 1;
+                thread::yield_now();
+            } else {
+                thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Live aggregated statistics (racy by nature while publishers are active; exact
+    /// after [`Self::drain`]).
+    pub fn stats(&self) -> DataplaneStats {
+        let mut stats = DataplaneStats {
+            published: self.published.load(Ordering::Relaxed),
+            ..DataplaneStats::default()
+        };
+        for shard in &self.shared.shards {
+            stats.delivered += shard.counters.delivered.load(Ordering::Relaxed);
+            stats.denied += shard.counters.denied.load(Ordering::Relaxed);
+            stats.missing_endpoint += shard.counters.missing_endpoint.load(Ordering::Relaxed);
+            stats.cache_hits += shard.counters.cache_hits.load(Ordering::Relaxed);
+            stats.cache_misses += shard.counters.cache_misses.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Drains outstanding work, stops every worker and returns the final report with
+    /// all audit logs (chains intact) and cache statistics.
+    pub fn shutdown(mut self) -> DataplaneReport {
+        self.drain();
+        for shard in &self.shared.shards {
+            shard.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            shard.queue.push(ShardTask::Shutdown);
+        }
+        let mut shard_audit = Vec::with_capacity(self.workers.len());
+        let mut cache_stats = Vec::with_capacity(self.workers.len());
+        for worker in self.workers.drain(..) {
+            let report = worker.join().expect("shard worker panicked");
+            shard_audit.push(report.audit);
+            cache_stats.push(report.cache_stats);
+        }
+        let stats = self.stats();
+        let control_audit = {
+            let mut directory = self.shared.directory.write();
+            directory.control_audit.flush();
+            std::mem::replace(
+                &mut directory.control_audit,
+                BatchedAppender::new(format!("{}-control", self.shared.name), 1),
+            )
+            .into_log()
+        };
+        DataplaneReport { stats, shard_audit, control_audit, cache_stats }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn block_shard(&self, shard: usize) -> Arc<std::sync::Barrier> {
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        self.shared.shards[shard].counters.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.shared.shards[shard].queue.push(ShardTask::Block(Arc::clone(&barrier)));
+        barrier
+    }
+}
+
+impl Drop for Dataplane {
+    fn drop(&mut self) {
+        // Shut workers down if `shutdown()` was never called, so threads never leak.
+        if self.workers.is_empty() {
+            return;
+        }
+        for shard in &self.shared.shards {
+            shard.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            shard.queue.push(ShardTask::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

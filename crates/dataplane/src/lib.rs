@@ -1,0 +1,347 @@
+//! # legaliot-dataplane
+//!
+//! A sharded, decision-cached publish/subscribe enforcement engine on top of the
+//! `legaliot` middleware stack — the paper's §8.2.2 enforcement model (admission checks
+//! at channel establishment, IFC on every message, re-evaluation when a security
+//! context changes) scaled from a synchronous single-threaded bus to a multi-threaded
+//! dataplane.
+//!
+//! Architecture (see the README's "Dataplane & scaling" section for the full picture):
+//!
+//! * **Sharding** — components hash onto `N` worker shards by name; each shard runs its
+//!   own thread and enforces the traffic of the subscribers it owns. Ingress queues are
+//!   bounded ([`queue::BoundedQueue`]): full queues backpressure publishers
+//!   ([`Dataplane::publish`] blocks, [`Dataplane::try_publish`] reports
+//!   [`DataplaneError::QueueFull`]).
+//! * **Decision caching** — each shard holds a private [`legaliot_ifc::DecisionCache`]
+//!   keyed by the stable 64-bit hashes of the (source, destination) security contexts.
+//!   Lookups always key on the entities' *current* hashes, and a context change
+//!   broadcasts invalidation of the superseded hash to every shard, so the paper's
+//!   re-evaluation-on-context-change semantics hold while redundant lattice walks are
+//!   skipped on the hot path.
+//! * **Batched, tamper-evident audit** — every shard writes its own hash-chained log
+//!   through a [`legaliot_audit::BatchedAppender`]; in
+//!   [`AuditDetail::Summarised`] mode repeated checks of a pair fold into one
+//!   `FlowSummary` record (whose counts total every check in the window) while IFC
+//!   denials and first-of-pair checks stay individually recorded.
+//! * **Admission reuse** — subscriptions run the exact bus admission sequence via
+//!   [`legaliot_middleware::admission::admit_channel`] (isolation → access control →
+//!   IFC), audited on a control-plane log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod topologies;
+
+mod shard;
+
+pub use engine::{
+    AuditDetail, Dataplane, DataplaneConfig, DataplaneError, DataplaneReport, DataplaneStats,
+};
+pub use topologies::{smart_city, smart_home, Topology};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legaliot_context::{ContextSnapshot, Timestamp};
+    use legaliot_ifc::SecurityContext;
+    use legaliot_middleware::{Component, DeliveryOutcome, Principal};
+
+    fn snap() -> ContextSnapshot {
+        ContextSnapshot::default()
+    }
+
+    fn endpoint(name: &str, secrecy: &[&str]) -> Component {
+        Component::builder(name, Principal::new("owner"))
+            .context(SecurityContext::from_names(secrecy.iter().copied(), Vec::<&str>::new()))
+            .build()
+    }
+
+    /// A 2-shard dataplane with four endpoints and two legal channels a→b, c→d, where
+    /// every endpoint has a distinct security context.
+    fn two_pair_plane(config: DataplaneConfig) -> Dataplane {
+        let dataplane = Dataplane::new("test", config);
+        for (name, secrecy) in [
+            ("a", vec!["t"]),
+            ("b", vec!["t", "b-only"]),
+            ("c", vec!["u"]),
+            ("d", vec!["u", "d-only"]),
+        ] {
+            let secrecy: Vec<&str> = secrecy;
+            dataplane.register(endpoint(name, &secrecy)).unwrap();
+            dataplane.allow_sends_to(name);
+        }
+        assert!(dataplane.subscribe("a", "b", &snap(), Timestamp(1)).unwrap().is_delivered());
+        assert!(dataplane.subscribe("c", "d", &snap(), Timestamp(1)).unwrap().is_delivered());
+        dataplane
+    }
+
+    #[test]
+    fn publish_enforces_and_counts() {
+        let dataplane = two_pair_plane(DataplaneConfig::default());
+        for round in 0..10 {
+            dataplane.publish("a", Timestamp(10 + round)).unwrap();
+            dataplane.publish("c", Timestamp(10 + round)).unwrap();
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.published, 20);
+        assert_eq!(stats.delivered, 20);
+        assert_eq!(stats.denied, 0);
+        // Two unique pairs: two misses, the rest hits.
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_hits, 18);
+        assert!(stats.cache_hit_ratio() > 0.85);
+    }
+
+    /// Acceptance criterion: a context change invalidates cached decisions for exactly
+    /// the affected entity — its next message is a cache miss (fresh lattice walk),
+    /// while unrelated pairs keep hitting their cached decisions.
+    #[test]
+    fn context_change_invalidates_exactly_the_affected_entity() {
+        let dataplane = two_pair_plane(DataplaneConfig::default());
+        // Warm the cache for both pairs.
+        dataplane.publish("a", Timestamp(10)).unwrap();
+        dataplane.publish("c", Timestamp(10)).unwrap();
+        dataplane.publish("a", Timestamp(11)).unwrap();
+        dataplane.publish("c", Timestamp(11)).unwrap();
+        dataplane.drain();
+        let warm = dataplane.stats();
+        assert_eq!((warm.cache_misses, warm.cache_hits), (2, 2));
+
+        // `a` changes context (still flow-legal into b): its cached decision must die.
+        dataplane
+            .set_context(
+                "a",
+                SecurityContext::from_names(["t", "b-only"], Vec::<&str>::new()),
+                Timestamp(12),
+            )
+            .unwrap();
+        dataplane.drain();
+        dataplane.publish("a", Timestamp(13)).unwrap();
+        dataplane.publish("c", Timestamp(13)).unwrap();
+        dataplane.drain();
+        let after = dataplane.stats();
+        // Exactly one new miss (a→b recomputed) and one new hit (c→d untouched).
+        assert_eq!(after.cache_misses, warm.cache_misses + 1);
+        assert_eq!(after.cache_hits, warm.cache_hits + 1);
+        assert_eq!(after.delivered, 6);
+
+        // The per-shard caches saw an invalidation for `a`'s old context.
+        let report = dataplane.shutdown();
+        let invalidated: u64 = report.cache_stats.iter().map(|s| s.invalidated).sum();
+        assert_eq!(invalidated, 1);
+    }
+
+    /// §8.2.2 re-evaluation semantics: after a context change makes an established
+    /// channel illegal, the very next message on it is denied (and audited), without
+    /// any re-subscription step.
+    #[test]
+    fn context_change_reevaluates_established_channels() {
+        let config =
+            DataplaneConfig { audit_detail: AuditDetail::Summarised, ..DataplaneConfig::default() };
+        let dataplane = two_pair_plane(config);
+        dataplane.publish("a", Timestamp(10)).unwrap();
+        dataplane.drain();
+        assert_eq!(dataplane.stats().delivered, 1);
+
+        // `a` gains a secrecy tag `b` does not hold: a→b becomes illegal.
+        dataplane
+            .set_context(
+                "a",
+                SecurityContext::from_names(["t", "quarantine"], Vec::<&str>::new()),
+                Timestamp(11),
+            )
+            .unwrap();
+        dataplane.publish("a", Timestamp(12)).unwrap();
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.denied, 1);
+
+        // The denial is individually evidenced even in summarised mode, and every
+        // shard chain verifies.
+        let report = dataplane.shutdown();
+        let denied_records: usize =
+            report.shard_audit.iter().map(|log| log.denied_flows().count()).sum();
+        assert_eq!(denied_records, 1);
+        for log in &report.shard_audit {
+            assert!(log.verify_chain().is_intact());
+        }
+        assert!(report.control_audit.verify_chain().is_intact());
+        // The control log evidences the subscriptions and the label change.
+        use legaliot_audit::AuditEventKind;
+        assert_eq!(report.control_audit.of_kind(AuditEventKind::ChannelChanged).count(), 2);
+        assert_eq!(report.control_audit.of_kind(AuditEventKind::LabelChanged).count(), 1);
+    }
+
+    #[test]
+    fn subscription_admission_refuses_illegal_edges() {
+        let dataplane = two_pair_plane(DataplaneConfig::default());
+        // b→a is an illegal flow (a lacks `b-only`): admission refuses, no subscription.
+        let outcome = dataplane.subscribe("b", "a", &snap(), Timestamp(2)).unwrap();
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByIfc(_)));
+        assert_eq!(dataplane.publish("b", Timestamp(3)).unwrap(), 0);
+        // An endpoint with no AC rule is default-deny.
+        dataplane.register(endpoint("locked", &["t"])).unwrap();
+        let outcome = dataplane.subscribe("a", "locked", &snap(), Timestamp(4)).unwrap();
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
+        // Unknown endpoints are errors, not outcomes.
+        assert_eq!(
+            dataplane.subscribe("ghost", "a", &snap(), Timestamp(5)),
+            Err(DataplaneError::UnknownEndpoint { name: "ghost".into() })
+        );
+        assert_eq!(
+            dataplane.publish("ghost", Timestamp(6)),
+            Err(DataplaneError::UnknownEndpoint { name: "ghost".into() })
+        );
+    }
+
+    #[test]
+    fn isolation_denies_in_flight_traffic() {
+        let dataplane = two_pair_plane(DataplaneConfig::default());
+        dataplane.set_isolated("b", true, Timestamp(9)).unwrap();
+        dataplane.publish("a", Timestamp(10)).unwrap();
+        dataplane.drain();
+        assert_eq!(dataplane.stats().denied, 1);
+        dataplane.set_isolated("b", false, Timestamp(11)).unwrap();
+        dataplane.publish("a", Timestamp(12)).unwrap();
+        dataplane.drain();
+        assert_eq!(dataplane.stats().delivered, 1);
+
+        // The isolation change is control-plane evidence, and the denied delivery is
+        // totalled in the pair summary.
+        let report = dataplane.shutdown();
+        use legaliot_audit::{AuditEvent, AuditEventKind};
+        assert_eq!(report.control_audit.of_kind(AuditEventKind::Reconfigured).count(), 2);
+        let summary = report
+            .merged_timeline()
+            .into_iter()
+            .find_map(|r| match r.event {
+                AuditEvent::FlowSummary { ref source, allowed, denied, .. } if source == "a" => {
+                    Some((allowed, denied))
+                }
+                _ => None,
+            })
+            .expect("pair summary present");
+        assert_eq!(summary, (1, 1));
+    }
+
+    #[test]
+    fn try_publish_reports_backpressure() {
+        let config = DataplaneConfig { shards: 1, queue_capacity: 2, ..Default::default() };
+        let dataplane = two_pair_plane(config);
+        // Park the single worker so the queue cannot drain.
+        let barrier = dataplane.block_shard(0);
+        let mut full = false;
+        for round in 0..4 {
+            match dataplane.try_publish("a", Timestamp(10 + round)) {
+                Ok(_) => {}
+                Err(DataplaneError::QueueFull { shard: 0, capacity: 2 }) => {
+                    full = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(full, "bounded queue must report backpressure");
+        barrier.wait();
+        dataplane.drain();
+        // Everything that was enqueued still got enforced.
+        let stats = dataplane.stats();
+        assert_eq!(stats.delivered, stats.published);
+    }
+
+    #[test]
+    fn unsubscribe_and_deregister_stop_fanout() {
+        let dataplane = two_pair_plane(DataplaneConfig::default());
+        dataplane.unsubscribe("a", "b").unwrap();
+        assert_eq!(dataplane.publish("a", Timestamp(10)).unwrap(), 0);
+        dataplane.deregister("d").unwrap();
+        assert_eq!(dataplane.publish("c", Timestamp(11)).unwrap(), 0);
+        assert_eq!(
+            dataplane.deregister("d"),
+            Err(DataplaneError::UnknownEndpoint { name: "d".into() })
+        );
+        assert_eq!(
+            dataplane.register(endpoint("a", &["t"])),
+            Err(DataplaneError::DuplicateEndpoint { name: "a".into() })
+        );
+    }
+
+    #[test]
+    fn full_audit_records_every_message() {
+        let config = DataplaneConfig {
+            audit_detail: AuditDetail::Full,
+            cache_decisions: false,
+            shards: 2,
+            ..Default::default()
+        };
+        let dataplane = two_pair_plane(config);
+        for round in 0..5 {
+            dataplane.publish("a", Timestamp(10 + round)).unwrap();
+        }
+        dataplane.drain();
+        let report = dataplane.shutdown();
+        use legaliot_audit::AuditEventKind;
+        let flow_records: usize = report
+            .shard_audit
+            .iter()
+            .map(|log| log.of_kind(AuditEventKind::FlowChecked).count())
+            .sum();
+        assert_eq!(flow_records, 5);
+        for log in &report.shard_audit {
+            assert!(log.verify_chain().is_intact());
+        }
+    }
+
+    #[test]
+    fn summarised_audit_folds_repeats_into_flow_summary() {
+        let config =
+            DataplaneConfig { audit_detail: AuditDetail::Summarised, ..Default::default() };
+        let dataplane = two_pair_plane(config);
+        for round in 0..50 {
+            dataplane.publish("a", Timestamp(10 + round)).unwrap();
+        }
+        dataplane.drain();
+        let report = dataplane.shutdown();
+        use legaliot_audit::{AuditEvent, AuditEventKind};
+        let all: Vec<_> = report.merged_timeline();
+        let full_records =
+            all.iter().filter(|r| r.event.kind() == AuditEventKind::FlowChecked).count();
+        let summaries: Vec<_> =
+            all.iter().filter(|r| r.event.kind() == AuditEventKind::FlowSummary).cloned().collect();
+        // One full record (first check) + one summary covering all 50.
+        assert_eq!(full_records, 1);
+        assert_eq!(summaries.len(), 1);
+        match &summaries[0].event {
+            AuditEvent::FlowSummary { allowed, denied, source, destination, .. } => {
+                assert_eq!((source.as_str(), destination.as_str()), ("a", "b"));
+                assert_eq!(*allowed, 50);
+                assert_eq!(*denied, 0);
+            }
+            other => panic!("expected FlowSummary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DataplaneError::UnknownEndpoint { name: "x".into() }.to_string().contains("x"));
+        assert!(DataplaneError::QueueFull { shard: 3, capacity: 8 }
+            .to_string()
+            .contains("shard 3"));
+        assert!(DataplaneError::DuplicateEndpoint { name: "x".into() }
+            .to_string()
+            .contains("already"));
+    }
+
+    #[test]
+    fn stats_default_and_shard_routing_are_stable() {
+        let dataplane = Dataplane::new("routing", DataplaneConfig::default());
+        assert_eq!(dataplane.stats(), DataplaneStats::default());
+        assert_eq!(dataplane.shard_of("sensor-1"), dataplane.shard_of("sensor-1"));
+        assert!(dataplane.shard_of("sensor-1") < dataplane.config().shards);
+    }
+}

@@ -1,0 +1,284 @@
+//! Shard worker: the per-thread enforcement loop.
+//!
+//! Each shard owns an ingress [`BoundedQueue`](crate::queue::BoundedQueue) of
+//! [`ShardTask`]s, a private [`DecisionCache`] (no cross-shard locking on the hot path)
+//! and a private [`BatchedAppender`] writing a per-shard hash-chained audit log.
+//! Components are assigned to shards by a stable hash of their name; a message is
+//! enforced on the *destination's* shard, so one overloaded subscriber backpressures
+//! only its own shard.
+//!
+//! The loop amortises synchronisation over pop batches: one directory read-lock
+//! acquisition, one `in_flight` decrement and one flush of the statistics counters per
+//! batch of up to [`POP_BATCH`] tasks, rather than per message.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
+use legaliot_ifc::{can_flow, DecisionCache};
+
+use crate::engine::{AuditDetail, DataplaneConfig, Directory, SharedState};
+use crate::queue::BoundedQueue;
+
+/// Work items delivered to a shard's ingress queue.
+#[derive(Debug)]
+pub(crate) enum ShardTask {
+    /// Enforce and deliver one message `from → to`.
+    Deliver {
+        /// Source endpoint name.
+        from: Arc<str>,
+        /// Destination endpoint name (owned by this shard).
+        to: Arc<str>,
+        /// Simulated send time in milliseconds.
+        at_millis: u64,
+    },
+    /// Drop every cached decision involving this context hash (an entity changed
+    /// context — §8.2.2 re-evaluation).
+    Invalidate {
+        /// The superseded context's stable hash.
+        context_hash: u64,
+    },
+    /// Flush audit buffers and exit the worker loop.
+    Shutdown,
+    /// Test hook: park the worker on a barrier so tests can fill the queue
+    /// deterministically.
+    #[cfg(test)]
+    Block(Arc<std::sync::Barrier>),
+}
+
+/// Live per-shard counters, updated by the worker and readable from the engine.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub delivered: AtomicU64,
+    pub denied: AtomicU64,
+    pub missing_endpoint: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Tasks pushed but not yet fully processed (drain watches this reach zero).
+    pub in_flight: AtomicU64,
+}
+
+/// One shard's queue plus its counters.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    pub queue: BoundedQueue<ShardTask>,
+    pub counters: ShardCounters,
+}
+
+impl ShardState {
+    pub(crate) fn new(queue_capacity: usize) -> Self {
+        ShardState { queue: BoundedQueue::new(queue_capacity), counters: ShardCounters::default() }
+    }
+}
+
+/// What a shard worker hands back at shutdown.
+#[derive(Debug)]
+pub(crate) struct ShardReport {
+    pub audit: AuditLog,
+    pub cache_stats: legaliot_ifc::CacheStats,
+}
+
+/// A `(source, destination)` endpoint-name pair.
+type PairKey = (Arc<str>, Arc<str>);
+
+/// Per-pair counters folded into one `FlowSummary` record at shutdown.
+#[derive(Debug, Default)]
+struct PairSummary {
+    allowed: u64,
+    denied: u64,
+    first_millis: u64,
+    last_millis: u64,
+}
+
+/// Counter deltas accumulated over one pop batch, flushed in one go.
+#[derive(Debug, Default)]
+struct BatchCounters {
+    delivered: u64,
+    denied: u64,
+    missing_endpoint: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Maximum tasks drained from the ingress queue per lock acquisition.
+const POP_BATCH: usize = 256;
+
+/// The worker loop for shard `index`. Runs until a [`ShardTask::Shutdown`] arrives.
+pub(crate) fn run_worker(
+    index: usize,
+    shared: Arc<SharedState>,
+    config: DataplaneConfig,
+) -> ShardReport {
+    let mut cache = DecisionCache::with_capacity(config.cache_capacity);
+    let mut appender =
+        BatchedAppender::new(format!("{}-shard-{index}", shared.name), config.audit_batch)
+            .with_retention(config.audit_retention);
+    let mut summaries: HashMap<PairKey, PairSummary> = HashMap::new();
+    let mut batch: Vec<ShardTask> = Vec::with_capacity(POP_BATCH);
+
+    let shard = &shared.shards[index];
+    let mut shutdown = false;
+    while !shutdown {
+        shard.queue.pop_batch(&mut batch, POP_BATCH);
+        let mut processed = 0u64;
+        let mut local = BatchCounters::default();
+        {
+            // One directory read-lock per batch; workers never block a publisher's
+            // blocked push while holding it (publishers push outside the lock too).
+            let directory = if batch.iter().any(|t| matches!(t, ShardTask::Deliver { .. })) {
+                Some(shared.directory.read())
+            } else {
+                None
+            };
+            for task in batch.drain(..) {
+                processed += 1;
+                match task {
+                    ShardTask::Deliver { from, to, at_millis } => {
+                        process_delivery(
+                            directory.as_deref().expect("lock held when batch has deliveries"),
+                            &config,
+                            &mut cache,
+                            &mut appender,
+                            &mut summaries,
+                            &mut local,
+                            from,
+                            to,
+                            at_millis,
+                        );
+                    }
+                    ShardTask::Invalidate { context_hash } => {
+                        cache.invalidate_context(context_hash);
+                    }
+                    ShardTask::Shutdown => {
+                        shutdown = true;
+                    }
+                    #[cfg(test)]
+                    ShardTask::Block(barrier) => {
+                        barrier.wait();
+                    }
+                }
+            }
+        }
+        let counters = &shard.counters;
+        counters.delivered.fetch_add(local.delivered, Ordering::Relaxed);
+        counters.denied.fetch_add(local.denied, Ordering::Relaxed);
+        counters.missing_endpoint.fetch_add(local.missing_endpoint, Ordering::Relaxed);
+        counters.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
+        counters.cache_misses.fetch_add(local.cache_misses, Ordering::Relaxed);
+        // Last: drain() may only observe zero once every effect above is visible.
+        counters.in_flight.fetch_sub(processed, Ordering::SeqCst);
+    }
+
+    // Emit one FlowSummary per pair (deterministic order for reproducible chains).
+    let mut pairs: Vec<(PairKey, PairSummary)> = summaries.into_iter().collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    for ((from, to), summary) in pairs {
+        appender.append(
+            AuditEvent::FlowSummary {
+                source: from.to_string(),
+                destination: to.to_string(),
+                allowed: summary.allowed,
+                denied: summary.denied,
+                window_start_millis: summary.first_millis,
+                window_end_millis: summary.last_millis,
+            },
+            summary.last_millis,
+        );
+    }
+    ShardReport { audit: appender.into_log(), cache_stats: cache.stats() }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_delivery(
+    directory: &Directory,
+    config: &DataplaneConfig,
+    cache: &mut DecisionCache,
+    appender: &mut BatchedAppender,
+    summaries: &mut HashMap<PairKey, PairSummary>,
+    local: &mut BatchCounters,
+    from: Arc<str>,
+    to: Arc<str>,
+    at_millis: u64,
+) {
+    // Read both endpoints' *current* contexts: a message is always judged against the
+    // state of the world at enforcement time, so an entity's context change is in force
+    // for every message behind it in the queue (§8.2.2 re-evaluation).
+    let (Some(src), Some(dst)) = (directory.endpoints.get(&*from), directory.endpoints.get(&*to))
+    else {
+        local.missing_endpoint += 1;
+        return;
+    };
+    if src.component.is_isolated() || dst.component.is_isolated() {
+        // No flow check ran, so there is no FlowChecked record (as on the bus, where
+        // isolation short-circuits before the flow-check audit); the imposition of
+        // isolation itself is audited on the control-plane log, and the denial is
+        // still counted in the pair summary so the evidence totals add up.
+        local.denied += 1;
+        if config.audit_detail == AuditDetail::Summarised {
+            let summary = summaries.entry((from, to)).or_insert_with(|| PairSummary {
+                first_millis: at_millis,
+                ..PairSummary::default()
+            });
+            summary.denied += 1;
+            summary.last_millis = at_millis;
+        }
+        return;
+    }
+
+    let (decision, hit) = if config.cache_decisions {
+        let (decision, hit) = cache.check(
+            src.component.context(),
+            src.context_hash,
+            dst.component.context(),
+            dst.context_hash,
+        );
+        if hit {
+            local.cache_hits += 1;
+        } else {
+            local.cache_misses += 1;
+        }
+        (decision, hit)
+    } else {
+        local.cache_misses += 1;
+        (can_flow(src.component.context(), dst.component.context()), false)
+    };
+
+    let denied = decision.is_denied();
+    if denied {
+        local.denied += 1;
+    } else {
+        local.delivered += 1;
+    }
+
+    // Full mode records everything; summarised mode records denials and the first
+    // check of each pair in full, folding repeats into the per-pair summary.
+    let full_record = match config.audit_detail {
+        AuditDetail::Full => true,
+        AuditDetail::Summarised => denied || !hit,
+    };
+    if full_record {
+        appender.append(
+            AuditEvent::FlowChecked {
+                source: from.to_string(),
+                destination: to.to_string(),
+                source_context: src.component.context().clone(),
+                destination_context: dst.component.context().clone(),
+                decision,
+                data_item: None,
+            },
+            at_millis,
+        );
+    }
+    if config.audit_detail == AuditDetail::Summarised {
+        let summary = summaries
+            .entry((from, to))
+            .or_insert_with(|| PairSummary { first_millis: at_millis, ..PairSummary::default() });
+        if denied {
+            summary.denied += 1;
+        } else {
+            summary.allowed += 1;
+        }
+        summary.last_millis = at_millis;
+    }
+}

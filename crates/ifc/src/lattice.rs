@@ -127,6 +127,26 @@ mod tests {
                 context_join(&context_join(&a, &b), &c),
                 context_join(&a, &context_join(&b, &c))
             );
+            prop_assert_eq!(
+                context_meet(&context_meet(&a, &b), &c),
+                context_meet(&a, &context_meet(&b, &c))
+            );
+        }
+
+        /// Both sources may always flow into their join — the law the data-amalgamation
+        /// label (§3 Concern 5) and the dataplane's cached fan-in decisions rely on.
+        #[test]
+        fn prop_can_flow_into_join(a in arb_ctx(), b in arb_ctx()) {
+            let j = context_join(&a, &b);
+            prop_assert!(can_flow(&a, &j).is_allowed());
+            prop_assert!(can_flow(&b, &j).is_allowed());
+        }
+
+        /// Join and meet absorb each other on contexts, completing the lattice laws.
+        #[test]
+        fn prop_context_absorption(a in arb_ctx(), b in arb_ctx()) {
+            prop_assert_eq!(context_join(&a, &context_meet(&a, &b)), a.clone());
+            prop_assert_eq!(context_meet(&a, &context_join(&a, &b)), a.clone());
         }
     }
 }

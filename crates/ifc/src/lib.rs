@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod creep;
 pub mod entity;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod privilege;
 pub mod registry;
 pub mod tag;
 
+pub use cache::{context_hash64, str_hash64, CacheStats, DecisionCache};
 pub use creep::{CreepAnalysis, CreepReport};
 pub use entity::{Entity, EntityId, EntityKind};
 pub use error::IfcError;

@@ -215,6 +215,13 @@ impl SecurityContext {
     pub fn same_domain(&self, other: &SecurityContext) -> bool {
         self == other
     }
+
+    /// A stable 64-bit hash of this context (see [`crate::cache::context_hash64`]):
+    /// deterministic across runs and processes, order-independent over the tag sets,
+    /// suitable for keying flow-decision caches.
+    pub fn stable_hash(&self) -> u64 {
+        crate::cache::context_hash64(self)
+    }
 }
 
 impl fmt::Display for SecurityContext {
@@ -325,5 +332,30 @@ mod tests {
         let ctx = SecurityContext::from_names(["a", "b"], ["c"]);
         assert_eq!(ctx.len(), 3);
         assert!(!ctx.is_empty());
+    }
+
+    /// `Tag`, `Label` and `SecurityContext` all implement `Hash` consistently with
+    /// `Eq`, so callers (e.g. the dataplane's decision cache and shard router) can use
+    /// them directly as `HashMap` keys.
+    #[test]
+    fn tag_label_and_context_are_hashmap_keys() {
+        use crate::label::Label;
+        use std::collections::HashMap;
+
+        let mut by_tag: HashMap<Tag, u32> = HashMap::new();
+        by_tag.insert(Tag::new("medical"), 1);
+        assert_eq!(by_tag.get(&Tag::new("medical")), Some(&1));
+
+        let mut by_label: HashMap<Label, u32> = HashMap::new();
+        by_label.insert(Label::from_names(["medical", "ann"]), 2);
+        assert_eq!(by_label.get(&Label::from_names(["ann", "medical"])), Some(&2));
+
+        let mut by_context: HashMap<SecurityContext, u32> = HashMap::new();
+        by_context.insert(SecurityContext::from_names(["medical"], ["consent"]), 3);
+        assert_eq!(
+            by_context.get(&SecurityContext::from_names(["medical"], ["consent"])),
+            Some(&3)
+        );
+        assert_eq!(by_context.get(&SecurityContext::public()), None);
     }
 }

@@ -1,0 +1,114 @@
+//! Channel-admission checks, factored out of the bus so every enforcement surface
+//! (the synchronous [`crate::bus::Middleware`], the sharded `legaliot-dataplane`)
+//! applies the identical §8.2.2 sequence: isolation, then the access-control regime
+//! (the *sender's* principal must hold `Send` rights on the destination), then IFC
+//! between the two components' security contexts.
+//!
+//! Admission is a pure function of the two components and the AC regime — it mutates
+//! nothing and records nothing, so callers stay in charge of channel bookkeeping and
+//! audit. A [`crate::bus::DeliveryOutcome`] (not an error) is returned because a refusal
+//! is an expected, auditable outcome.
+
+use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_ifc::can_flow;
+
+use crate::acl::{AccessDecision, AccessRegime, Operation};
+use crate::bus::DeliveryOutcome;
+use crate::component::Component;
+
+/// Runs the full channel-admission sequence for a prospective channel
+/// `source → destination`.
+///
+/// Returns [`DeliveryOutcome::Delivered`] (with no quenched attributes — quenching is a
+/// per-message concern) when the channel may be established, and the precise refusal
+/// otherwise: [`DeliveryOutcome::Isolated`], [`DeliveryOutcome::DeniedByAccessControl`]
+/// or [`DeliveryOutcome::DeniedByIfc`].
+///
+/// ```
+/// use legaliot_context::{ContextSnapshot, Timestamp};
+/// use legaliot_ifc::SecurityContext;
+/// use legaliot_middleware::admission::admit_channel;
+/// use legaliot_middleware::{AccessRegime, AccessRule, Component, Operation, Principal, Subject};
+///
+/// let src = Component::builder("sensor", Principal::new("ann"))
+///     .context(SecurityContext::from_names(["medical"], Vec::<&str>::new()))
+///     .build();
+/// let dst = Component::builder("analyser", Principal::new("hospital"))
+///     .context(SecurityContext::from_names(["medical"], Vec::<&str>::new()))
+///     .build();
+/// let mut access = AccessRegime::new();
+/// access.add_rule("analyser", AccessRule::allow(Subject::Anyone, Operation::Send, None));
+/// let outcome =
+///     admit_channel(&src, &dst, &access, &ContextSnapshot::default(), Timestamp(1));
+/// assert!(outcome.is_delivered());
+/// ```
+pub fn admit_channel(
+    source: &Component,
+    destination: &Component,
+    access: &AccessRegime,
+    snapshot: &ContextSnapshot,
+    now: Timestamp,
+) -> DeliveryOutcome {
+    if source.is_isolated() || destination.is_isolated() {
+        return DeliveryOutcome::Isolated;
+    }
+    let ac =
+        access.decide(destination.name(), source.principal(), Operation::Send, None, snapshot, now);
+    if let AccessDecision::Denied { reason } = ac {
+        return DeliveryOutcome::DeniedByAccessControl { reason };
+    }
+    let decision = can_flow(source.context(), destination.context());
+    if decision.is_denied() {
+        DeliveryOutcome::DeniedByIfc(decision)
+    } else {
+        DeliveryOutcome::Delivered { quenched_attributes: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{AccessRule, Principal, Subject};
+    use legaliot_ifc::SecurityContext;
+
+    fn component(name: &str, secrecy: &[&str]) -> Component {
+        Component::builder(name, Principal::new("owner"))
+            .context(SecurityContext::from_names(secrecy.iter().copied(), Vec::<&str>::new()))
+            .build()
+    }
+
+    fn open_access(names: &[&str]) -> AccessRegime {
+        let mut access = AccessRegime::new();
+        for name in names {
+            access.add_rule(*name, AccessRule::allow(Subject::Anyone, Operation::Send, None));
+        }
+        access
+    }
+
+    #[test]
+    fn admission_order_isolation_then_ac_then_ifc() {
+        let snapshot = ContextSnapshot::default();
+        let src = component("src", &["medical"]);
+        let dst = component("dst", &["medical"]);
+
+        // No AC rule: denied by AC even though IFC would pass.
+        let outcome = admit_channel(&src, &dst, &AccessRegime::new(), &snapshot, Timestamp(1));
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
+
+        // AC open, IFC fails (destination lacks `medical`).
+        let public_dst = component("dst", &[]);
+        let outcome =
+            admit_channel(&src, &public_dst, &open_access(&["dst"]), &snapshot, Timestamp(2));
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByIfc(_)));
+
+        // Isolation short-circuits everything, including AC denial.
+        let mut isolated = component("src", &["medical"]);
+        isolated.set_isolated(true);
+        let outcome = admit_channel(&isolated, &dst, &AccessRegime::new(), &snapshot, Timestamp(3));
+        assert_eq!(outcome, DeliveryOutcome::Isolated);
+
+        // Everything passing admits the channel with nothing quenched.
+        let outcome = admit_channel(&src, &dst, &open_access(&["dst"]), &snapshot, Timestamp(4));
+        assert_eq!(outcome, DeliveryOutcome::Delivered { quenched_attributes: vec![] });
+    }
+}

@@ -23,12 +23,33 @@ use crate::control::{ControlMessage, ControlOutcome, ReconfigureOp};
 use crate::schema::Message;
 
 /// Errors raised by middleware operations (not enforcement denials, which are outcomes).
+///
+/// The distinction: an enforcement *denial* (AC, IFC, isolation) is an expected,
+/// auditable [`DeliveryOutcome`]; an *error* means the operation could not be carried
+/// out at all — the caller named an unknown component, used a torn-down channel, or hit
+/// a resource limit — and should be surfaced rather than silently folded into outcomes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MiddlewareError {
     /// The referenced component is not registered.
     UnknownComponent {
         /// The missing component's name.
         name: String,
+    },
+    /// The channel exists but has been torn down; re-establish it (which re-runs the
+    /// full §8.2.2 admission checks) before sending again.
+    ChannelClosed {
+        /// Source component of the closed channel.
+        from: String,
+        /// Destination component of the closed channel.
+        to: String,
+    },
+    /// The destination's mailbox is full (bounded-queue backpressure); the message was
+    /// not delivered and the sender should retry after the receiver drains.
+    QueueFull {
+        /// The component whose mailbox is full.
+        component: String,
+        /// The configured mailbox capacity.
+        capacity: usize,
     },
 }
 
@@ -37,6 +58,12 @@ impl fmt::Display for MiddlewareError {
         match self {
             MiddlewareError::UnknownComponent { name } => {
                 write!(f, "unknown component `{name}`")
+            }
+            MiddlewareError::ChannelClosed { from, to } => {
+                write!(f, "channel `{from}` -> `{to}` is closed; re-establish before sending")
+            }
+            MiddlewareError::QueueFull { component, capacity } => {
+                write!(f, "mailbox of `{component}` is full (capacity {capacity})")
             }
         }
     }
@@ -106,6 +133,7 @@ pub struct Middleware {
     tag_registry: TagRegistry,
     channels: BTreeMap<(String, String), ChannelState>,
     mailboxes: BTreeMap<String, Vec<Message>>,
+    mailbox_capacity: Option<usize>,
     notifications: Vec<(String, String)>,
     actuations: Vec<(String, String)>,
     audit: AuditLog,
@@ -120,6 +148,7 @@ impl Middleware {
             tag_registry: TagRegistry::new(),
             channels: BTreeMap::new(),
             mailboxes: BTreeMap::new(),
+            mailbox_capacity: None,
             notifications: Vec::new(),
             actuations: Vec::new(),
             audit: AuditLog::new(name),
@@ -159,6 +188,13 @@ impl Middleware {
     /// The audit log recorded by this middleware instance.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Bounds every component mailbox to `capacity` undelivered messages; further sends
+    /// fail with [`MiddlewareError::QueueFull`] until the receiver drains. `None`
+    /// (the default) leaves mailboxes unbounded.
+    pub fn set_mailbox_capacity(&mut self, capacity: Option<usize>) {
+        self.mailbox_capacity = capacity;
     }
 
     /// Notifications sent to principals (recipient, message), in order.
@@ -224,26 +260,8 @@ impl Middleware {
         let source = self.component(from)?.clone();
         let destination = self.component(to)?.clone();
 
-        let outcome = if source.is_isolated() || destination.is_isolated() {
-            DeliveryOutcome::Isolated
-        } else {
-            let ac =
-                self.access.decide(to, source.principal(), Operation::Send, None, snapshot, now);
-            if !ac.is_allowed() {
-                let reason = match ac {
-                    crate::acl::AccessDecision::Denied { reason } => reason,
-                    _ => unreachable!("allowed handled above"),
-                };
-                DeliveryOutcome::DeniedByAccessControl { reason }
-            } else {
-                let decision = can_flow(source.context(), destination.context());
-                if decision.is_denied() {
-                    DeliveryOutcome::DeniedByIfc(decision)
-                } else {
-                    DeliveryOutcome::Delivered { quenched_attributes: Vec::new() }
-                }
-            }
-        };
+        let outcome =
+            crate::admission::admit_channel(&source, &destination, &self.access, snapshot, now);
 
         let established = outcome.is_delivered();
         if established {
@@ -337,20 +355,30 @@ impl Middleware {
     ///
     /// # Errors
     ///
-    /// Returns [`MiddlewareError::UnknownComponent`] if either endpoint is unregistered.
+    /// Returns [`MiddlewareError::UnknownComponent`] if either endpoint is
+    /// unregistered, [`MiddlewareError::ChannelClosed`] if the channel was torn down
+    /// (re-establish to send again), and [`MiddlewareError::QueueFull`] if the
+    /// destination mailbox is at its configured capacity.
     pub fn send(
         &mut self,
         from: &str,
         to: &str,
-        mut message: Message,
+        message: Message,
         snapshot: &ContextSnapshot,
         now: Timestamp,
     ) -> Result<DeliveryOutcome, MiddlewareError> {
         let source = self.component(from)?.clone();
         let destination = self.component(to)?.clone();
 
-        if !self.has_open_channel(from, to) {
-            return Ok(DeliveryOutcome::NoChannel);
+        match self.channels.get(&(from.to_string(), to.to_string())) {
+            Some(ChannelState::Open) => {}
+            Some(ChannelState::Closed) => {
+                return Err(MiddlewareError::ChannelClosed {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                });
+            }
+            None => return Ok(DeliveryOutcome::NoChannel),
         }
         if source.is_isolated() || destination.is_isolated() {
             return Ok(DeliveryOutcome::Isolated);
@@ -374,6 +402,16 @@ impl Middleware {
                 _ => unreachable!(),
             };
             return Ok(DeliveryOutcome::DeniedByAccessControl { reason });
+        }
+
+        // Backpressure is checked before the flow is audited: a QueueFull error must
+        // not leave an allowed-with-data-item FlowChecked record for a transfer that
+        // never happened (audit evidence would disagree with the mailbox).
+        if let Some(capacity) = self.mailbox_capacity {
+            let occupied = self.mailboxes.get(to).map_or(0, Vec::len);
+            if occupied >= capacity {
+                return Err(MiddlewareError::QueueFull { component: to.to_string(), capacity });
+            }
         }
 
         // The message carries at least the sender's current context: application-supplied
@@ -412,10 +450,7 @@ impl Middleware {
                 }
             }
         }
-        let delivered = message.clone().quenched(&quenched);
-        message.sender = from.to_string();
-        message.sent_at_millis = now.as_millis();
-        let mut delivered = delivered;
+        let mut delivered = message.quenched(&quenched);
         delivered.sender = from.to_string();
         delivered.sent_at_millis = now.as_millis();
         delivered.context = effective_context;
@@ -819,12 +854,16 @@ mod tests {
         let cm =
             ControlMessage::new("ann-sensor", ReconfigureOp::Isolate, "hospital-engine", "p", 2);
         assert!(mw.handle_control(&cm, &snap(), Timestamp(2)).is_applied());
-        // Open channels involving the isolated component were closed.
+        // Open channels involving the isolated component were closed; sending over the
+        // torn-down channel is now an error, not a silent outcome.
         assert_eq!(mw.open_channel_count(), 0);
         let msg = Message::new("sensor-reading", SecurityContext::public());
         assert_eq!(
-            mw.send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(3)).unwrap(),
-            DeliveryOutcome::NoChannel
+            mw.send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(3)),
+            Err(MiddlewareError::ChannelClosed {
+                from: "ann-sensor".into(),
+                to: "ann-analyser".into()
+            })
         );
         // New channels are refused while isolated.
         let outcome =
@@ -951,5 +990,65 @@ mod tests {
         assert_eq!(channels[0].state, ChannelState::Closed);
         assert!(!DeliveryOutcome::NoChannel.is_delivered());
         assert!(MiddlewareError::UnknownComponent { name: "x".into() }.to_string().contains("x"));
+        assert!(MiddlewareError::ChannelClosed { from: "a".into(), to: "b".into() }
+            .to_string()
+            .contains("closed"));
+        assert!(MiddlewareError::QueueFull { component: "a".into(), capacity: 4 }
+            .to_string()
+            .contains("capacity 4"));
+    }
+
+    #[test]
+    fn send_over_torn_down_channel_is_an_error_until_reestablished() {
+        let mut mw = home_monitoring();
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        mw.teardown_channel("ann-sensor", "ann-analyser", Timestamp(2));
+        let msg = Message::new("sensor-reading", SecurityContext::public());
+        assert!(matches!(
+            mw.send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(3)),
+            Err(MiddlewareError::ChannelClosed { .. })
+        ));
+        // Re-establishment re-runs the full admission checks and clears the error.
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(4)).unwrap();
+        assert!(mw
+            .send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(5))
+            .unwrap()
+            .is_delivered());
+    }
+
+    #[test]
+    fn bounded_mailboxes_apply_backpressure() {
+        let mut mw = home_monitoring();
+        mw.set_mailbox_capacity(Some(2));
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        let msg = Message::new("sensor-reading", SecurityContext::public());
+        for t in 2..4 {
+            assert!(mw
+                .send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(t))
+                .unwrap()
+                .is_delivered());
+        }
+        assert_eq!(
+            mw.send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(4)),
+            Err(MiddlewareError::QueueFull { component: "ann-analyser".into(), capacity: 2 })
+        );
+        // The refused send left no flow-check record: audit must not evidence a
+        // transfer that never reached the mailbox.
+        assert_eq!(mw.audit().of_kind(legaliot_audit::AuditEventKind::FlowChecked).count(), 2);
+        // Draining the receiver frees capacity again.
+        assert_eq!(mw.receive("ann-analyser").len(), 2);
+        assert!(mw
+            .send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(5))
+            .unwrap()
+            .is_delivered());
+        // Unbounded again once the cap is lifted.
+        mw.set_mailbox_capacity(None);
+        for t in 6..20 {
+            let msg = Message::new("sensor-reading", SecurityContext::public());
+            assert!(mw
+                .send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(t))
+                .unwrap()
+                .is_delivered());
+        }
     }
 }

@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod acl;
+pub mod admission;
 pub mod bus;
 pub mod component;
 pub mod control;
 pub mod schema;
 
 pub use acl::{AccessDecision, AccessRegime, AccessRule, Operation, Principal, Subject};
+pub use admission::admit_channel;
 pub use bus::{Channel, ChannelState, DeliveryOutcome, Middleware, MiddlewareError};
 pub use component::{Component, ComponentBuilder, Registry};
 pub use control::{ControlMessage, ControlOutcome, ReconfigureOp};

@@ -27,7 +27,7 @@ pub enum PlatformClaim {
     },
     /// The platform enforces IFC at the kernel level.
     IfcEnforcementPresent,
-    /// The platform is physically located at the given coordinates (geo-fencing, [44]).
+    /// The platform is physically located at the given coordinates (geo-fencing, \[44\]).
     Location {
         /// Latitude in degrees.
         latitude: f64,

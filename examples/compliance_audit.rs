@@ -61,11 +61,16 @@ fn main() {
     // The audit evidence is tamper-evident.
     println!("\naudit chain: {}", scenario.deployment.audit().verify_chain());
 
-    // And sending to the exporter still fails at message time even if someone retries.
+    // And sending to the exporter still fails at message time even if someone retries:
+    // either the channel never opened (a denial outcome) or it was torn down by the
+    // regulation, in which case the bus now reports the closed channel as an error.
     let retry = scenario.deployment.send(
         "ann-analyser",
         "overseas-exporter",
         Message::new("sensor-reading", SecurityContext::public()),
     );
-    println!("retry send to exporter: {:?}", retry.unwrap());
+    match retry {
+        Ok(outcome) => println!("retry send to exporter: {outcome:?}"),
+        Err(e) => println!("retry send to exporter refused: {e}"),
+    }
 }

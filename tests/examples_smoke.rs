@@ -90,3 +90,40 @@ fn compliance_audit_entry_path() {
     let liability = ComplianceChecker::liability(scenario.deployment.provenance(), "ann-analysis");
     assert_eq!(liability.data_item, "ann-analysis");
 }
+
+/// `examples/dataplane_throughput.rs`: the smart-home and smart-city topologies
+/// install onto the dataplane, traffic is enforced with the decision cache hot,
+/// and every per-shard audit chain verifies.
+#[test]
+fn dataplane_throughput_entry_path() {
+    use legaliot::context::Timestamp;
+    use legaliot::dataplane::{smart_city, smart_home, Dataplane, DataplaneConfig};
+
+    for topology in [smart_home(4, 2016), smart_city(2, 3)] {
+        let dataplane = Dataplane::new(topology.name.clone(), DataplaneConfig::default());
+        let admitted = dataplane_install(&topology, &dataplane);
+        assert_eq!(admitted, topology.edges.len());
+        let mut clock = 2;
+        for _ in 0..50 {
+            for publisher in topology.publishers() {
+                dataplane.publish(&publisher, Timestamp(clock)).unwrap();
+                clock += 1;
+            }
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.delivered, stats.published);
+        assert!(stats.cache_hit_ratio() > 0.9);
+        let report = dataplane.shutdown();
+        assert!(report.shard_audit.iter().all(|log| log.verify_chain().is_intact()));
+        assert!(report.control_audit.verify_chain().is_intact());
+    }
+}
+
+fn dataplane_install(
+    topology: &legaliot::dataplane::Topology,
+    dataplane: &legaliot::dataplane::Dataplane,
+) -> usize {
+    use legaliot::context::{ContextSnapshot, Timestamp};
+    topology.install(dataplane, &ContextSnapshot::default(), Timestamp(1)).expect("installs")
+}

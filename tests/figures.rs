@@ -356,16 +356,18 @@ fn failure_injection_rogue_component_and_node_crash() {
         now,
     );
     assert!(outcome.is_applied());
+    // Isolation tore down the open channel; the bus reports the closed channel as a
+    // hard error until it is re-established (which isolation prevents).
     assert_eq!(
-        scenario
-            .deployment
-            .send(
-                "ann-sensor",
-                "ann-analyser",
-                Message::new("sensor-reading", SecurityContext::public())
-            )
-            .unwrap(),
-        DeliveryOutcome::NoChannel
+        scenario.deployment.send(
+            "ann-sensor",
+            "ann-analyser",
+            Message::new("sensor-reading", SecurityContext::public())
+        ),
+        Err(legaliot::middleware::MiddlewareError::ChannelClosed {
+            from: "ann-sensor".into(),
+            to: "ann-analyser".into()
+        })
     );
     assert!(scenario.deployment.audit().verify_chain().is_intact());
 
