@@ -37,6 +37,8 @@ pub enum AuditEventKind {
     DataDerived,
     /// A break-glass override was activated or expired.
     BreakGlass,
+    /// Attributes of a delivered message were source-quenched (Fig. 10).
+    MessageQuenched,
 }
 
 impl fmt::Display for AuditEventKind {
@@ -51,6 +53,7 @@ impl fmt::Display for AuditEventKind {
             AuditEventKind::ChannelChanged => "channel-changed",
             AuditEventKind::DataDerived => "data-derived",
             AuditEventKind::BreakGlass => "break-glass",
+            AuditEventKind::MessageQuenched => "message-quenched",
         };
         f.write_str(s)
     }
@@ -176,6 +179,19 @@ pub enum AuditEvent {
         /// The justification recorded at activation.
         justification: String,
     },
+    /// Attributes of a message delivered `source -> destination` were removed by
+    /// source quenching: their message-level secrecy tags were not all present in the
+    /// destination's secrecy label (Fig. 10).
+    MessageQuenched {
+        /// Name of the source entity.
+        source: String,
+        /// Name of the destination entity.
+        destination: String,
+        /// The message type concerned.
+        message_type: String,
+        /// The quenched attribute names.
+        attributes: Vec<String>,
+    },
 }
 
 impl AuditEvent {
@@ -191,6 +207,7 @@ impl AuditEvent {
             AuditEvent::ChannelChanged { .. } => AuditEventKind::ChannelChanged,
             AuditEvent::DataDerived { .. } => AuditEventKind::DataDerived,
             AuditEvent::BreakGlass { .. } => AuditEventKind::BreakGlass,
+            AuditEvent::MessageQuenched { .. } => AuditEventKind::MessageQuenched,
         }
     }
 
@@ -231,6 +248,9 @@ impl AuditEvent {
                 v
             }
             AuditEvent::BreakGlass { policy, .. } => vec![policy.as_str()],
+            AuditEvent::MessageQuenched { source, destination, .. } => {
+                vec![source.as_str(), destination.as_str()]
+            }
         }
     }
 }
@@ -272,6 +292,13 @@ impl fmt::Display for AuditEvent {
                 "break-glass {policy} {}",
                 if *active { "activated" } else { "deactivated" }
             ),
+            AuditEvent::MessageQuenched { source, destination, message_type, attributes } => {
+                write!(
+                    f,
+                    "quenched {} of {message_type} {source} -> {destination}",
+                    attributes.join(", ")
+                )
+            }
         }
     }
 }

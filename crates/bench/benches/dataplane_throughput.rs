@@ -14,8 +14,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use legaliot_context::{ContextSnapshot, Timestamp};
 use legaliot_dataplane::{
-    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, Topology,
+    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, PayloadMode, Topology,
 };
+use legaliot_middleware::Message;
 
 /// Messages driven per sample; with warm-up plus the default sample count this pushes
 /// well over a million messages per configuration through each topology.
@@ -51,6 +52,40 @@ fn config(label: &str) -> DataplaneConfig {
             audit_retention: AUDIT_RETENTION,
             ..DataplaneConfig::default()
         },
+        // Naive payload baseline: deep clone per delivery, map-clone quenching, no
+        // decision caches — what a straight port of the bus's send path would do.
+        "1shard_payload_clone_uncached" => DataplaneConfig {
+            shards: 1,
+            payload_mode: PayloadMode::CloneEach,
+            cache_decisions: false,
+            cache_ac_decisions: false,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: AUDIT_RETENTION,
+            ..DataplaneConfig::default()
+        },
+        // Zero-copy payload hot path: frozen message shared across the fan-out,
+        // bitmask quenching, AC + IFC decision caches.
+        "1shard_payload_zerocopy_cached" => DataplaneConfig {
+            shards: 1,
+            payload_mode: PayloadMode::ZeroCopy,
+            cache_decisions: true,
+            cache_ac_decisions: true,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: AUDIT_RETENTION,
+            ..DataplaneConfig::default()
+        },
+        "4shard_payload_zerocopy_cached" => DataplaneConfig {
+            shards: 4,
+            payload_mode: PayloadMode::ZeroCopy,
+            cache_decisions: true,
+            cache_ac_decisions: true,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: AUDIT_RETENTION,
+            ..DataplaneConfig::default()
+        },
         other => unreachable!("unknown config label {other}"),
     }
 }
@@ -58,7 +93,7 @@ fn config(label: &str) -> DataplaneConfig {
 fn installed(topology: &Topology, label: &str) -> Dataplane {
     let dataplane = Dataplane::new(topology.name.clone(), config(label));
     topology
-        .install(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+        .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
         .expect("topology installs");
     dataplane
 }
@@ -78,18 +113,49 @@ fn drive(dataplane: &Dataplane, publishers: &[String], messages: u64) {
     dataplane.drain();
 }
 
+fn drive_payload(dataplane: &Dataplane, pairs: &[(String, Message)], messages: u64) {
+    let mut published = 0u64;
+    let mut clock = 2u64;
+    'outer: loop {
+        for (publisher, message) in pairs {
+            published +=
+                dataplane.publish_message(publisher, message, Timestamp(clock)).unwrap() as u64;
+            clock += 1;
+            if published >= messages {
+                break 'outer;
+            }
+        }
+    }
+    dataplane.drain();
+}
+
 fn bench_topology(c: &mut Criterion, topology: &Topology) {
     let mut group = c.benchmark_group(format!("dataplane_{}", topology.name));
     let publishers = topology.publishers();
-    for label in ["1shard_uncached_full", "1shard_cached_summarised", "4shard_cached_summarised"] {
+    let pairs = topology.publisher_messages();
+    for label in [
+        "1shard_uncached_full",
+        "1shard_cached_summarised",
+        "4shard_cached_summarised",
+        "1shard_payload_clone_uncached",
+        "1shard_payload_zerocopy_cached",
+        "4shard_payload_zerocopy_cached",
+    ] {
         // One engine per configuration, reused across samples: worker spawn/join stays
         // out of the measurement and cached configurations run at steady state.
         let dataplane = installed(topology, label);
+        let payload = label.contains("payload");
         group.bench_with_input(
             BenchmarkId::new(label, MESSAGES_PER_SAMPLE),
             &MESSAGES_PER_SAMPLE,
             |bencher, &messages| {
-                bencher.iter(|| drive(&dataplane, &publishers, messages));
+                bencher.iter(|| {
+                    if payload {
+                        drive_payload(&dataplane, &pairs, messages);
+                    } else {
+                        drive(&dataplane, &publishers, messages);
+                    }
+                });
             },
         );
         drop(dataplane);

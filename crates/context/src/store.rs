@@ -193,6 +193,22 @@ impl ContextStore {
         }
     }
 
+    /// Takes a snapshot only if the store has moved past `seen_version`, under a
+    /// single read-lock acquisition. Hot loops that keep a cached snapshot (e.g. a
+    /// dataplane shard's enforcement view) use this to refresh per batch without
+    /// cloning the value map when nothing changed.
+    pub fn snapshot_if_newer(&self, seen_version: u64) -> Option<ContextSnapshot> {
+        let inner = self.inner.read();
+        if inner.version == seen_version {
+            return None;
+        }
+        Some(ContextSnapshot {
+            version: inner.version,
+            at: inner.changes.last().map(|c| c.at).unwrap_or(Timestamp::ZERO),
+            values: inner.values.clone(),
+        })
+    }
+
     /// Registers a subscriber; its cursor starts at the current version, so it will
     /// only see future changes.
     pub fn subscribe(&self) -> SubscriptionId {
@@ -253,6 +269,18 @@ mod tests {
         // Later writes do not affect the snapshot.
         store.set("a", 99i64, Timestamp(3));
         assert_eq!(snap.get_name("a"), Some(&ContextValue::Integer(1)));
+    }
+
+    #[test]
+    fn snapshot_if_newer_skips_unchanged_versions() {
+        let store = ContextStore::new();
+        assert!(store.snapshot_if_newer(0).is_none());
+        store.set("a", 1i64, Timestamp(1));
+        let snap = store.snapshot_if_newer(0).expect("store moved");
+        assert_eq!(snap.version(), 1);
+        assert!(store.snapshot_if_newer(1).is_none());
+        store.set("a", 2i64, Timestamp(2));
+        assert_eq!(store.snapshot_if_newer(1).unwrap().version(), 2);
     }
 
     #[test]

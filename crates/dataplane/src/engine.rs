@@ -10,27 +10,50 @@ use std::thread::{self, JoinHandle};
 use parking_lot::RwLock;
 
 use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
-use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_context::{ContextSnapshot, ContextStore, Timestamp};
 use legaliot_ifc::{context_hash64, CacheStats, SecurityContext};
-use legaliot_middleware::admission::admit_channel;
-use legaliot_middleware::{AccessRegime, Component, DeliveryOutcome};
+use legaliot_middleware::admission::{admit_channel, admit_channel_cached, AdmissionCache};
+use legaliot_middleware::{
+    AccessRegime, Component, DeliveryOutcome, FrozenMessage, FrozenSchema, Message, MessageSchema,
+    MessageType,
+};
+use legaliot_policy::AcCacheStats;
 
-use crate::shard::{run_worker, ShardReport, ShardState, ShardTask};
+use crate::shard::{run_worker, DeliveryBody, ShardReport, ShardState, ShardTask};
 
 /// How much audit evidence the data path records per message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuditDetail {
-    /// One full `FlowChecked` record (both contexts + decision) per message — the
-    /// paper's "all attempted flows are evidenced" reading, and what the synchronous
-    /// middleware bus does.
+    /// One full `FlowChecked` record (both contexts + decision) per IFC-checked
+    /// message — the paper's "all attempted flows are evidenced" reading, and what
+    /// the synchronous middleware bus does. Denials that carry no flow check
+    /// (isolation, per-message contextual AC) cannot produce a `FlowChecked` record;
+    /// they are folded into per-pair `FlowSummary` records emitted at shutdown, so
+    /// the evidence still totals every refused message.
     Full,
     /// Full records for every IFC denial and for the first check of each context pair;
     /// repeats fold into one `FlowSummary` per `(source, destination)` pair, emitted at
     /// shutdown, whose counts total *every* check in the window (including the ones
-    /// also recorded individually). Isolation denials carry no flow check, so they
-    /// appear in the summary counts and on the control-plane log only. Orders of
-    /// magnitude cheaper than [`AuditDetail::Full`] at high message rates.
+    /// also recorded individually). Isolation and per-message AC denials carry no
+    /// flow check, so they appear in the summary counts (and, for isolation, on the
+    /// control-plane log) only. Quenching is evidenced as one `MessageQuenched`
+    /// record per freshly computed non-empty mask. Orders of magnitude cheaper than
+    /// [`AuditDetail::Full`] at high message rates.
     Summarised,
+}
+
+/// How [`Dataplane::publish_message`] carries message bodies to the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadMode {
+    /// Freeze the message once at ingress ([`FrozenMessage`]) and hand every
+    /// subscriber an `Arc` of it: per-delivery cost is refcount bumps, and quenching
+    /// is a bitmask over the shared buffer.
+    #[default]
+    ZeroCopy,
+    /// Deep-clone the [`Message`] (its `BTreeMap` and every `String` in it) once per
+    /// subscriber and quench by map clone on the shard — the naive port of the bus's
+    /// per-delivery behaviour, kept as the measured baseline for the zero-copy path.
+    CloneEach,
 }
 
 /// Tuning knobs for a [`Dataplane`].
@@ -42,7 +65,11 @@ pub struct DataplaneConfig {
     pub queue_capacity: usize,
     /// Whether to cache flow decisions per `(source ctx hash, destination ctx hash)`.
     pub cache_decisions: bool,
-    /// Maximum cached decisions per shard.
+    /// Whether to cache contextual AC decisions (per-message and admission checks)
+    /// keyed on the context keys the rules actually read, invalidated through the
+    /// engine's [`ContextStore`] subscription and on AC-regime changes.
+    pub cache_ac_decisions: bool,
+    /// Maximum cached decisions per shard (flow cache and AC cache each).
     pub cache_capacity: usize,
     /// Events buffered per shard before a batched flush into the hash-chained log.
     pub audit_batch: usize,
@@ -53,6 +80,13 @@ pub struct DataplaneConfig {
     /// [`legaliot_audit::AuditLog::retain_recent`]). `None` retains everything, which
     /// is unbounded memory under [`AuditDetail::Full`] at dataplane rates.
     pub audit_retention: Option<usize>,
+    /// How message bodies travel through the shards (zero-copy vs the clone-per-
+    /// delivery baseline).
+    pub payload_mode: PayloadMode,
+    /// When non-zero, each endpoint keeps its newest `retain_deliveries` delivered
+    /// (post-quench) messages for inspection via [`Dataplane::take_delivered`]. Off
+    /// (`0`) by default: the hot path then never materialises delivered bodies.
+    pub retain_deliveries: usize,
 }
 
 impl Default for DataplaneConfig {
@@ -61,10 +95,13 @@ impl Default for DataplaneConfig {
             shards: 4,
             queue_capacity: 4096,
             cache_decisions: true,
+            cache_ac_decisions: true,
             cache_capacity: legaliot_ifc::DecisionCache::DEFAULT_CAPACITY,
             audit_batch: 1024,
             audit_detail: AuditDetail::Summarised,
             audit_retention: None,
+            payload_mode: PayloadMode::ZeroCopy,
+            retain_deliveries: 0,
         }
     }
 }
@@ -89,6 +126,18 @@ pub enum DataplaneError {
         /// The conflicting name.
         name: String,
     },
+    /// A published message does not conform to its registered schema (or the schema
+    /// cannot be frozen).
+    SchemaViolation {
+        /// Why.
+        reason: String,
+    },
+    /// [`Dataplane::publish_message`] requires a schema registered for the message's
+    /// type (payload enforcement is schema-driven); none was found.
+    UnknownSchema {
+        /// The message type without a registered schema.
+        message_type: String,
+    },
 }
 
 impl fmt::Display for DataplaneError {
@@ -100,6 +149,12 @@ impl fmt::Display for DataplaneError {
             }
             DataplaneError::DuplicateEndpoint { name } => {
                 write!(f, "endpoint `{name}` is already registered")
+            }
+            DataplaneError::SchemaViolation { reason } => {
+                write!(f, "schema violation: {reason}")
+            }
+            DataplaneError::UnknownSchema { message_type } => {
+                write!(f, "no schema registered for message type `{message_type}`")
             }
         }
     }
@@ -118,14 +173,21 @@ pub(crate) struct Endpoint {
     /// Behind an `Arc` so `publish` can snapshot the fan-out with one refcount bump
     /// instead of cloning the list on every message.
     pub subscribers: Arc<Vec<(Arc<str>, usize)>>,
+    /// Newest delivered (post-quench) messages, kept only when
+    /// [`DataplaneConfig::retain_deliveries`] is non-zero. Interior mutability so the
+    /// shard can append under the directory *read* lock.
+    pub inbox: parking_lot::Mutex<std::collections::VecDeque<Message>>,
 }
 
-/// Shared mutable state: the endpoint directory and the AC regime, plus the
-/// control-plane audit appender (subscriptions, context changes).
+/// Shared mutable state: the endpoint directory, registered (frozen) message schemas,
+/// the AC regime and its control-plane admission cache, plus the control-plane audit
+/// appender (subscriptions, context changes).
 #[derive(Debug)]
 pub(crate) struct Directory {
     pub endpoints: HashMap<Arc<str>, Endpoint>,
+    pub schemas: HashMap<MessageType, Arc<FrozenSchema>>,
     pub access: AccessRegime,
+    pub admission_cache: AdmissionCache,
     pub control_audit: BatchedAppender,
 }
 
@@ -135,6 +197,9 @@ pub(crate) struct SharedState {
     pub name: String,
     pub directory: RwLock<Directory>,
     pub shards: Vec<ShardState>,
+    /// The context store enforcement-time AC decisions are evaluated against; shards
+    /// keep per-batch snapshots of it and AC caches subscribe to it.
+    pub context_store: Arc<ContextStore>,
 }
 
 /// Aggregated live statistics across all shards.
@@ -152,16 +217,34 @@ pub struct DataplaneStats {
     pub cache_hits: u64,
     /// Decision-cache misses across shards.
     pub cache_misses: u64,
+    /// Per-message AC cache hits across shards (payload deliveries only).
+    pub ac_cache_hits: u64,
+    /// Per-message AC cache misses across shards (payload deliveries only).
+    pub ac_cache_misses: u64,
+    /// Attributes removed by per-delivery source quenching (Fig. 10).
+    pub quenched_attributes: u64,
+    /// Payload bytes carried by delivered messages (encoded size × deliveries).
+    pub payload_bytes: u64,
 }
 
 impl DataplaneStats {
-    /// Cache hit ratio in `[0, 1]`; `0` before any lookups.
+    /// Flow-decision cache hit ratio in `[0, 1]`; `0` before any lookups.
     pub fn cache_hit_ratio(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// AC-decision cache hit ratio in `[0, 1]`; `0` before any lookups.
+    pub fn ac_cache_hit_ratio(&self) -> f64 {
+        let total = self.ac_cache_hits + self.ac_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ac_cache_hits as f64 / total as f64
         }
     }
 }
@@ -176,8 +259,12 @@ pub struct DataplaneReport {
     pub shard_audit: Vec<AuditLog>,
     /// The control-plane audit log (subscriptions, context changes, isolation).
     pub control_audit: AuditLog,
-    /// Per-shard decision-cache statistics.
+    /// Per-shard flow-decision-cache statistics.
     pub cache_stats: Vec<CacheStats>,
+    /// Per-shard AC-decision-cache statistics (per-message contextual AC).
+    pub ac_cache_stats: Vec<AcCacheStats>,
+    /// The control plane's admission-cache statistics (subscribe-time AC).
+    pub admission_cache_stats: AcCacheStats,
 }
 
 impl DataplaneReport {
@@ -229,17 +316,36 @@ pub struct Dataplane {
 }
 
 impl Dataplane {
-    /// Creates the engine and spawns one worker thread per shard.
+    /// Creates the engine (with a fresh private [`ContextStore`]) and spawns one
+    /// worker thread per shard.
     pub fn new(name: impl Into<String>, config: DataplaneConfig) -> Self {
+        Self::with_context_store(name, config, Arc::new(ContextStore::new()))
+    }
+
+    /// Creates the engine around an externally owned [`ContextStore`]: enforcement-
+    /// time AC decisions (per-message and admission) are evaluated against snapshots
+    /// of this store, and the per-shard AC caches subscribe to it so a
+    /// [`ContextStore::set`] on a key a rule reads forces re-evaluation on every
+    /// shard.
+    pub fn with_context_store(
+        name: impl Into<String>,
+        config: DataplaneConfig,
+        context_store: Arc<ContextStore>,
+    ) -> Self {
         let name = name.into();
         let shards = config.shards.max(1);
+        let mut admission_cache = AdmissionCache::with_capacity(config.cache_capacity);
+        admission_cache.attach(&context_store);
         let shared = Arc::new(SharedState {
             directory: RwLock::new(Directory {
                 endpoints: HashMap::new(),
+                schemas: HashMap::new(),
                 access: AccessRegime::new(),
+                admission_cache,
                 control_audit: BatchedAppender::new(format!("{name}-control"), 1),
             }),
             shards: (0..shards).map(|_| ShardState::new(config.queue_capacity)).collect(),
+            context_store,
             name,
         });
         let workers = (0..shards)
@@ -255,6 +361,11 @@ impl Dataplane {
     /// The configuration this engine runs with.
     pub fn config(&self) -> &DataplaneConfig {
         &self.config
+    }
+
+    /// The context store enforcement-time AC decisions are evaluated against.
+    pub fn context_store(&self) -> &Arc<ContextStore> {
+        &self.shared.context_store
     }
 
     /// The shard a component name routes to (stable FNV-1a of the name, the same hash
@@ -278,9 +389,48 @@ impl Dataplane {
         }
         directory.endpoints.insert(
             name,
-            Endpoint { component, context_hash, shard, subscribers: Arc::new(Vec::new()) },
+            Endpoint {
+                component,
+                context_hash,
+                shard,
+                subscribers: Arc::new(Vec::new()),
+                inbox: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            },
         );
         Ok(())
+    }
+
+    /// Registers (or replaces) the schema for a message type, compiled once into its
+    /// frozen form ([`FrozenSchema`]: interned name table, kind array, sensitive-
+    /// attribute bitmask) shared by every message of the type.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::SchemaViolation`] when the schema cannot be frozen (more than
+    /// [`legaliot_middleware::MAX_FROZEN_ATTRIBUTES`] attributes).
+    pub fn register_schema(&self, schema: MessageSchema) -> Result<(), DataplaneError> {
+        let frozen = FrozenSchema::new(&schema)
+            .map_err(|reason| DataplaneError::SchemaViolation { reason })?;
+        let mut directory = self.shared.directory.write();
+        directory.schemas.insert(schema.message_type.clone(), Arc::new(frozen));
+        Ok(())
+    }
+
+    /// Drains the retained deliveries of an endpoint (newest
+    /// [`DataplaneConfig::retain_deliveries`] post-quench messages). Always empty when
+    /// retention is off.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::UnknownEndpoint`] if the endpoint is unregistered.
+    pub fn take_delivered(&self, name: &str) -> Result<Vec<Message>, DataplaneError> {
+        let directory = self.shared.directory.read();
+        let endpoint = directory
+            .endpoints
+            .get(name)
+            .ok_or_else(|| DataplaneError::UnknownEndpoint { name: name.to_string() })?;
+        let drained: Vec<Message> = endpoint.inbox.lock().drain(..).collect();
+        Ok(drained)
     }
 
     /// Removes an endpoint and every subscription involving it. In-flight messages to
@@ -340,18 +490,37 @@ impl Dataplane {
             .ok_or_else(|| DataplaneError::UnknownEndpoint { name: subscriber.to_string() })?;
         let subscriber_shard = directory.endpoints[&subscriber_key].shard;
         let outcome = {
-            let source = directory
+            let dir = &mut *directory;
+            let source = dir
                 .endpoints
                 .get(publisher)
                 .ok_or_else(|| DataplaneError::UnknownEndpoint { name: publisher.to_string() })?;
-            let destination = &directory.endpoints[&subscriber_key];
-            admit_channel(
-                &source.component,
-                &destination.component,
-                &directory.access,
-                snapshot,
-                now,
-            )
+            let destination = &dir.endpoints[&subscriber_key];
+            // The admission cache may only answer for snapshots that reflect the
+            // engine's own context store (its key-level invalidation watches exactly
+            // that store); ad-hoc snapshots fall back to a direct evaluation. Sync
+            // *before* the version check: sync consumes the subscription's change
+            // feed, so a write landing after it either fails the equality check here
+            // or is consumed-and-invalidated by the next sync — whereas syncing after
+            // the check could consume a change and then cache a decision from the
+            // caller's now-stale snapshot, which nothing would ever invalidate.
+            if self.config.cache_ac_decisions {
+                dir.admission_cache.sync(&self.shared.context_store, &dir.access);
+            }
+            if self.config.cache_ac_decisions
+                && snapshot.version() == self.shared.context_store.version()
+            {
+                admit_channel_cached(
+                    &source.component,
+                    &destination.component,
+                    &dir.access,
+                    snapshot,
+                    now,
+                    &mut dir.admission_cache,
+                )
+            } else {
+                admit_channel(&source.component, &destination.component, &dir.access, snapshot, now)
+            }
         };
         let admitted = outcome.is_delivered();
         if admitted {
@@ -409,40 +578,31 @@ impl Dataplane {
         Ok((Arc::clone(key), Arc::clone(&endpoint.subscribers)))
     }
 
-    /// Publishes one message from `publisher` to every admitted subscriber, blocking on
-    /// full shard queues (backpressure). Returns the number of deliveries enqueued.
-    ///
-    /// # Errors
-    ///
-    /// [`DataplaneError::UnknownEndpoint`] if the publisher is unregistered.
-    pub fn publish(&self, publisher: &str, now: Timestamp) -> Result<usize, DataplaneError> {
-        let (from, subscribers) = self.fanout(publisher)?;
-        for (to, shard) in subscribers.iter() {
-            let task = ShardTask::Deliver {
-                from: Arc::clone(&from),
-                to: Arc::clone(to),
-                at_millis: now.as_millis(),
-            };
-            self.shared.shards[*shard].counters.in_flight.fetch_add(1, Ordering::SeqCst);
-            self.shared.shards[*shard].queue.push(task);
-        }
-        self.published.fetch_add(subscribers.len() as u64, Ordering::Relaxed);
-        Ok(subscribers.len())
-    }
-
-    /// Like [`Self::publish`] but fails with [`DataplaneError::QueueFull`] instead of
-    /// blocking. Deliveries already enqueued for earlier subscribers stay enqueued.
-    pub fn try_publish(&self, publisher: &str, now: Timestamp) -> Result<usize, DataplaneError> {
-        let (from, subscribers) = self.fanout(publisher)?;
+    /// The single fan-out path every publish variant goes through: one
+    /// [`ShardTask::Deliver`] per subscriber, `body()` supplying the (possibly absent)
+    /// message body for each. Blocking and non-blocking pushes, in-flight accounting
+    /// and the published counter live here so the flow-only and payload-carrying
+    /// entry points cannot drift apart.
+    fn enqueue_fanout(
+        &self,
+        from: &Arc<str>,
+        subscribers: &[(Arc<str>, usize)],
+        now: Timestamp,
+        block: bool,
+        mut body: impl FnMut() -> Option<DeliveryBody>,
+    ) -> Result<usize, DataplaneError> {
         let mut enqueued = 0;
-        for (to, shard) in subscribers.iter() {
+        for (to, shard) in subscribers {
             let task = ShardTask::Deliver {
-                from: Arc::clone(&from),
+                from: Arc::clone(from),
                 to: Arc::clone(to),
                 at_millis: now.as_millis(),
+                body: body(),
             };
             self.shared.shards[*shard].counters.in_flight.fetch_add(1, Ordering::SeqCst);
-            if self.shared.shards[*shard].queue.try_push(task).is_err() {
+            if block {
+                self.shared.shards[*shard].queue.push(task);
+            } else if self.shared.shards[*shard].queue.try_push(task).is_err() {
                 self.shared.shards[*shard].counters.in_flight.fetch_sub(1, Ordering::SeqCst);
                 self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
                 return Err(DataplaneError::QueueFull {
@@ -454,6 +614,93 @@ impl Dataplane {
         }
         self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
         Ok(enqueued)
+    }
+
+    /// Publishes one body-less message from `publisher` to every admitted subscriber,
+    /// blocking on full shard queues (backpressure). Returns the number of deliveries
+    /// enqueued.
+    ///
+    /// This is the *flow-only fast path*: shards enforce isolation and IFC per
+    /// delivery but carry no payload, so there is no schema check, no per-message AC
+    /// and no quenching. Use [`Self::publish_message`] for full per-delivery
+    /// enforcement over a real body; both run through the same fan-out code path.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::UnknownEndpoint`] if the publisher is unregistered.
+    pub fn publish(&self, publisher: &str, now: Timestamp) -> Result<usize, DataplaneError> {
+        let (from, subscribers) = self.fanout(publisher)?;
+        self.enqueue_fanout(&from, &subscribers, now, true, || None)
+    }
+
+    /// Like [`Self::publish`] but fails with [`DataplaneError::QueueFull`] instead of
+    /// blocking. Deliveries already enqueued for earlier subscribers stay enqueued.
+    pub fn try_publish(&self, publisher: &str, now: Timestamp) -> Result<usize, DataplaneError> {
+        let (from, subscribers) = self.fanout(publisher)?;
+        self.enqueue_fanout(&from, &subscribers, now, false, || None)
+    }
+
+    /// Publishes a payload-carrying message from `publisher` to every admitted
+    /// subscriber, blocking on full shard queues. Returns the number of deliveries
+    /// enqueued.
+    ///
+    /// The message is validated against its registered schema once at ingress, then
+    /// carried per [`DataplaneConfig::payload_mode`]: frozen once and shared
+    /// zero-copy (one `Arc` bump per subscriber), or deep-cloned per subscriber
+    /// (the measured baseline). Shards run the full §8.2.2 per-delivery sequence —
+    /// isolation, contextual AC at message-type granularity (cache-amortised), IFC
+    /// over the message's effective context, then per-attribute source quenching
+    /// against the subscriber's secrecy label (Fig. 10), with quenched attribute
+    /// names recorded in the per-shard audit.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::UnknownEndpoint`] if the publisher is unregistered,
+    /// [`DataplaneError::UnknownSchema`] if no schema is registered for the message's
+    /// type, and [`DataplaneError::SchemaViolation`] if validation fails.
+    pub fn publish_message(
+        &self,
+        publisher: &str,
+        message: &Message,
+        now: Timestamp,
+    ) -> Result<usize, DataplaneError> {
+        let (from, subscribers, schema) = {
+            let directory = self.shared.directory.read();
+            let (key, endpoint) = directory
+                .endpoints
+                .get_key_value(publisher)
+                .ok_or_else(|| DataplaneError::UnknownEndpoint { name: publisher.to_string() })?;
+            let schema =
+                directory.schemas.get(&message.message_type).cloned().ok_or_else(|| {
+                    DataplaneError::UnknownSchema { message_type: message.message_type.to_string() }
+                })?;
+            (Arc::clone(key), Arc::clone(&endpoint.subscribers), schema)
+        };
+        match self.config.payload_mode {
+            PayloadMode::ZeroCopy => {
+                let frozen = FrozenMessage::freeze(message, schema)
+                    .map_err(|reason| DataplaneError::SchemaViolation { reason })?
+                    .with_sender(Arc::clone(&from))
+                    .with_sent_at(now.as_millis());
+                let frozen = Arc::new(frozen);
+                self.enqueue_fanout(&from, &subscribers, now, true, || {
+                    Some(DeliveryBody::Frozen(Arc::clone(&frozen)))
+                })
+            }
+            PayloadMode::CloneEach => {
+                schema
+                    .validate(message)
+                    .map_err(|reason| DataplaneError::SchemaViolation { reason })?;
+                let byte_len = legaliot_middleware::encoded_payload_len(message) as u32;
+                let mut stamped = message.clone();
+                stamped.sender = from.to_string();
+                stamped.sent_at_millis = now.as_millis();
+                self.enqueue_fanout(&from, &subscribers, now, true, || {
+                    // The per-subscriber deep clone *is* the baseline being measured.
+                    Some(DeliveryBody::Cloned { message: Box::new(stamped.clone()), byte_len })
+                })
+            }
+        }
     }
 
     /// Changes an entity's security context and broadcasts invalidation of its old
@@ -563,6 +810,10 @@ impl Dataplane {
             stats.missing_endpoint += shard.counters.missing_endpoint.load(Ordering::Relaxed);
             stats.cache_hits += shard.counters.cache_hits.load(Ordering::Relaxed);
             stats.cache_misses += shard.counters.cache_misses.load(Ordering::Relaxed);
+            stats.ac_cache_hits += shard.counters.ac_cache_hits.load(Ordering::Relaxed);
+            stats.ac_cache_misses += shard.counters.ac_cache_misses.load(Ordering::Relaxed);
+            stats.quenched_attributes += shard.counters.quenched.load(Ordering::Relaxed);
+            stats.payload_bytes += shard.counters.payload_bytes.load(Ordering::Relaxed);
         }
         stats
     }
@@ -577,22 +828,33 @@ impl Dataplane {
         }
         let mut shard_audit = Vec::with_capacity(self.workers.len());
         let mut cache_stats = Vec::with_capacity(self.workers.len());
+        let mut ac_cache_stats = Vec::with_capacity(self.workers.len());
         for worker in self.workers.drain(..) {
             let report = worker.join().expect("shard worker panicked");
             shard_audit.push(report.audit);
             cache_stats.push(report.cache_stats);
+            ac_cache_stats.push(report.ac_cache_stats);
         }
         let stats = self.stats();
-        let control_audit = {
+        let (control_audit, admission_cache_stats) = {
             let mut directory = self.shared.directory.write();
             directory.control_audit.flush();
-            std::mem::replace(
+            let admission_cache_stats = directory.admission_cache.stats();
+            let log = std::mem::replace(
                 &mut directory.control_audit,
                 BatchedAppender::new(format!("{}-control", self.shared.name), 1),
             )
-            .into_log()
+            .into_log();
+            (log, admission_cache_stats)
         };
-        DataplaneReport { stats, shard_audit, control_audit, cache_stats }
+        DataplaneReport {
+            stats,
+            shard_audit,
+            control_audit,
+            cache_stats,
+            ac_cache_stats,
+            admission_cache_stats,
+        }
     }
 
     #[cfg(test)]

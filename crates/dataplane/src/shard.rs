@@ -1,25 +1,71 @@
 //! Shard worker: the per-thread enforcement loop.
 //!
 //! Each shard owns an ingress [`BoundedQueue`](crate::queue::BoundedQueue) of
-//! [`ShardTask`]s, a private [`DecisionCache`] (no cross-shard locking on the hot path)
-//! and a private [`BatchedAppender`] writing a per-shard hash-chained audit log.
-//! Components are assigned to shards by a stable hash of their name; a message is
-//! enforced on the *destination's* shard, so one overloaded subscriber backpressures
-//! only its own shard.
+//! [`ShardTask`]s, a private [`DecisionCache`] for IFC, a private
+//! [`AdmissionCache`] for contextual AC (subscribed to the engine's context store), a
+//! private quench-mask cache, and a private [`BatchedAppender`] writing a per-shard
+//! hash-chained audit log. Components are assigned to shards by a stable hash of their
+//! name; a message is enforced on the *destination's* shard, so one overloaded
+//! subscriber backpressures only its own shard.
 //!
 //! The loop amortises synchronisation over pop batches: one directory read-lock
-//! acquisition, one `in_flight` decrement and one flush of the statistics counters per
-//! batch of up to [`POP_BATCH`] tasks, rather than per message.
+//! acquisition, one context-store freshness check, one `in_flight` decrement and one
+//! flush of the statistics counters per batch of up to [`POP_BATCH`] tasks, rather
+//! than per message.
+//!
+//! Payload-carrying deliveries run the full §8.2.2 per-message sequence — isolation,
+//! contextual AC at message-type granularity, IFC over the message's *effective*
+//! context (sender secrecy ∪ message-level secrecy), then per-attribute source
+//! quenching against the subscriber's secrecy label (Fig. 10). In zero-copy mode the
+//! body is an `Arc<FrozenMessage>` and quenching is a cached bitmask; in clone-each
+//! mode (the measured baseline) the body is a deep-cloned [`Message`] quenched by map
+//! clone.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
-use legaliot_ifc::{can_flow, DecisionCache};
+use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_ifc::{can_flow, context_hash64, DecisionCache, FlowDecision, SecurityContext};
+use legaliot_middleware::admission::AdmissionCache;
+use legaliot_middleware::{FrozenMessage, Message, MessageType, Operation};
 
-use crate::engine::{AuditDetail, DataplaneConfig, Directory, SharedState};
+use crate::engine::{AuditDetail, DataplaneConfig, Directory, Endpoint, SharedState};
 use crate::queue::BoundedQueue;
+
+/// A message body carried by a [`ShardTask::Deliver`].
+#[derive(Debug)]
+pub(crate) enum DeliveryBody {
+    /// Zero-copy: the frozen message is shared across the whole fan-out; this clone
+    /// cost one refcount bump at publish time.
+    Frozen(Arc<FrozenMessage>),
+    /// Clone-per-delivery baseline: a deep copy made for this subscriber at publish
+    /// time, plus its pre-computed encoded size for bytes-moved accounting.
+    Cloned {
+        /// The per-subscriber deep clone.
+        message: Box<Message>,
+        /// Encoded payload size (the zero-copy representation's byte length).
+        byte_len: u32,
+    },
+}
+
+impl DeliveryBody {
+    fn message_type(&self) -> &MessageType {
+        match self {
+            DeliveryBody::Frozen(message) => message.message_type(),
+            DeliveryBody::Cloned { message, .. } => &message.message_type,
+        }
+    }
+
+    /// The message-level security context (application-supplied extra tags).
+    fn extra_context(&self) -> &SecurityContext {
+        match self {
+            DeliveryBody::Frozen(message) => message.extra_context(),
+            DeliveryBody::Cloned { message, .. } => &message.context,
+        }
+    }
+}
 
 /// Work items delivered to a shard's ingress queue.
 #[derive(Debug)]
@@ -32,9 +78,13 @@ pub(crate) enum ShardTask {
         to: Arc<str>,
         /// Simulated send time in milliseconds.
         at_millis: u64,
+        /// The message body, if this is a payload-carrying delivery (`None` for the
+        /// flow-only fast path).
+        body: Option<DeliveryBody>,
     },
     /// Drop every cached decision involving this context hash (an entity changed
-    /// context — §8.2.2 re-evaluation).
+    /// context — §8.2.2 re-evaluation). Also drops quench masks computed against the
+    /// superseded context.
     Invalidate {
         /// The superseded context's stable hash.
         context_hash: u64,
@@ -55,6 +105,10 @@ pub(crate) struct ShardCounters {
     pub missing_endpoint: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    pub ac_cache_hits: AtomicU64,
+    pub ac_cache_misses: AtomicU64,
+    pub quenched: AtomicU64,
+    pub payload_bytes: AtomicU64,
     /// Tasks pushed but not yet fully processed (drain watches this reach zero).
     pub in_flight: AtomicU64,
 }
@@ -77,6 +131,7 @@ impl ShardState {
 pub(crate) struct ShardReport {
     pub audit: AuditLog,
     pub cache_stats: legaliot_ifc::CacheStats,
+    pub ac_cache_stats: legaliot_policy::AcCacheStats,
 }
 
 /// A `(source, destination)` endpoint-name pair.
@@ -87,6 +142,9 @@ type PairKey = (Arc<str>, Arc<str>);
 struct PairSummary {
     allowed: u64,
     denied: u64,
+    /// Attributes quenched on this pair so far (also gates the one
+    /// `MessageQuenched` record per pair in summarised clone-each mode).
+    quenched: u64,
     first_millis: u64,
     last_millis: u64,
 }
@@ -99,6 +157,25 @@ struct BatchCounters {
     missing_endpoint: u64,
     cache_hits: u64,
     cache_misses: u64,
+    ac_cache_hits: u64,
+    ac_cache_misses: u64,
+    quenched: u64,
+    payload_bytes: u64,
+}
+
+/// The worker-private enforcement state threaded through delivery processing.
+struct WorkerState {
+    /// IFC flow-decision cache keyed by (source ctx hash, destination ctx hash).
+    cache: DecisionCache,
+    /// Contextual-AC decision cache, subscribed to the engine's context store.
+    ac_cache: AdmissionCache,
+    /// Quench-mask cache keyed by (schema hash, destination ctx hash): the mask is a
+    /// pure function of the two, so it is recomputed only when either changes.
+    quench_cache: HashMap<(u64, u64), u64>,
+    /// Enforcement-time view of the context store, refreshed per batch when stale.
+    snapshot: ContextSnapshot,
+    appender: BatchedAppender,
+    summaries: HashMap<PairKey, PairSummary>,
 }
 
 /// Maximum tasks drained from the ingress queue per lock acquisition.
@@ -110,11 +187,21 @@ pub(crate) fn run_worker(
     shared: Arc<SharedState>,
     config: DataplaneConfig,
 ) -> ShardReport {
-    let mut cache = DecisionCache::with_capacity(config.cache_capacity);
-    let mut appender =
-        BatchedAppender::new(format!("{}-shard-{index}", shared.name), config.audit_batch)
-            .with_retention(config.audit_retention);
-    let mut summaries: HashMap<PairKey, PairSummary> = HashMap::new();
+    let store = Arc::clone(&shared.context_store);
+    let mut ac_cache = AdmissionCache::with_capacity(config.cache_capacity);
+    ac_cache.attach(&store);
+    let mut state = WorkerState {
+        cache: DecisionCache::with_capacity(config.cache_capacity),
+        ac_cache,
+        quench_cache: HashMap::new(),
+        snapshot: store.snapshot(),
+        appender: BatchedAppender::new(
+            format!("{}-shard-{index}", shared.name),
+            config.audit_batch,
+        )
+        .with_retention(config.audit_retention),
+        summaries: HashMap::new(),
+    };
     let mut batch: Vec<ShardTask> = Vec::with_capacity(POP_BATCH);
 
     let shard = &shared.shards[index];
@@ -131,24 +218,40 @@ pub(crate) fn run_worker(
             } else {
                 None
             };
+            // Payload deliveries evaluate contextual AC: invalidate AC entries whose
+            // keys changed, then refresh the enforcement-time context view, once per
+            // batch (no-op version checks when the store has not moved). The order is
+            // load-bearing: sync consumes the subscription's change feed, so it must
+            // run *before* the snapshot refresh — a write landing in between is then
+            // seen by the snapshot but not yet consumed, and the next sync
+            // conservatively drops the entries it touched. The reverse order could
+            // consume a change and then cache decisions from an older snapshot,
+            // leaving a stale decision nothing ever invalidates.
+            if batch.iter().any(|t| matches!(t, ShardTask::Deliver { body: Some(_), .. })) {
+                let directory = directory.as_deref().expect("payload implies delivery");
+                state.ac_cache.sync(&store, &directory.access);
+                if let Some(fresh) = store.snapshot_if_newer(state.snapshot.version()) {
+                    state.snapshot = fresh;
+                }
+            }
             for task in batch.drain(..) {
                 processed += 1;
                 match task {
-                    ShardTask::Deliver { from, to, at_millis } => {
+                    ShardTask::Deliver { from, to, at_millis, body } => {
                         process_delivery(
                             directory.as_deref().expect("lock held when batch has deliveries"),
                             &config,
-                            &mut cache,
-                            &mut appender,
-                            &mut summaries,
+                            &mut state,
                             &mut local,
                             from,
                             to,
                             at_millis,
+                            body,
                         );
                     }
                     ShardTask::Invalidate { context_hash } => {
-                        cache.invalidate_context(context_hash);
+                        state.cache.invalidate_context(context_hash);
+                        state.quench_cache.retain(|(_, dst_hash), _| *dst_hash != context_hash);
                     }
                     ShardTask::Shutdown => {
                         shutdown = true;
@@ -166,15 +269,19 @@ pub(crate) fn run_worker(
         counters.missing_endpoint.fetch_add(local.missing_endpoint, Ordering::Relaxed);
         counters.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
         counters.cache_misses.fetch_add(local.cache_misses, Ordering::Relaxed);
+        counters.ac_cache_hits.fetch_add(local.ac_cache_hits, Ordering::Relaxed);
+        counters.ac_cache_misses.fetch_add(local.ac_cache_misses, Ordering::Relaxed);
+        counters.quenched.fetch_add(local.quenched, Ordering::Relaxed);
+        counters.payload_bytes.fetch_add(local.payload_bytes, Ordering::Relaxed);
         // Last: drain() may only observe zero once every effect above is visible.
         counters.in_flight.fetch_sub(processed, Ordering::SeqCst);
     }
 
     // Emit one FlowSummary per pair (deterministic order for reproducible chains).
-    let mut pairs: Vec<(PairKey, PairSummary)> = summaries.into_iter().collect();
+    let mut pairs: Vec<(PairKey, PairSummary)> = state.summaries.into_iter().collect();
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     for ((from, to), summary) in pairs {
-        appender.append(
+        state.appender.append(
             AuditEvent::FlowSummary {
                 source: from.to_string(),
                 destination: to.to_string(),
@@ -186,20 +293,40 @@ pub(crate) fn run_worker(
             summary.last_millis,
         );
     }
-    ShardReport { audit: appender.into_log(), cache_stats: cache.stats() }
+    ShardReport {
+        audit: state.appender.into_log(),
+        cache_stats: state.cache.stats(),
+        ac_cache_stats: state.ac_cache.stats(),
+    }
+}
+
+/// Records a denial that carries no flow check (isolation, per-message AC) in the
+/// pair summary — in *both* audit modes, so [`AuditDetail::Full`] still evidences
+/// refused messages that never reached the IFC stage (its `FlowSummary` records,
+/// when present, cover exactly those denials).
+fn summarise_denial(
+    summaries: &mut HashMap<PairKey, PairSummary>,
+    from: Arc<str>,
+    to: Arc<str>,
+    at_millis: u64,
+) {
+    let summary = summaries
+        .entry((from, to))
+        .or_insert_with(|| PairSummary { first_millis: at_millis, ..PairSummary::default() });
+    summary.denied += 1;
+    summary.last_millis = at_millis;
 }
 
 #[allow(clippy::too_many_arguments)]
 fn process_delivery(
     directory: &Directory,
     config: &DataplaneConfig,
-    cache: &mut DecisionCache,
-    appender: &mut BatchedAppender,
-    summaries: &mut HashMap<PairKey, PairSummary>,
+    state: &mut WorkerState,
     local: &mut BatchCounters,
     from: Arc<str>,
     to: Arc<str>,
     at_millis: u64,
+    body: Option<DeliveryBody>,
 ) {
     // Read both endpoints' *current* contexts: a message is always judged against the
     // state of the world at enforcement time, so an entity's context change is in force
@@ -215,21 +342,74 @@ fn process_delivery(
         // isolation itself is audited on the control-plane log, and the denial is
         // still counted in the pair summary so the evidence totals add up.
         local.denied += 1;
-        if config.audit_detail == AuditDetail::Summarised {
-            let summary = summaries.entry((from, to)).or_insert_with(|| PairSummary {
-                first_millis: at_millis,
-                ..PairSummary::default()
-            });
-            summary.denied += 1;
-            summary.last_millis = at_millis;
-        }
+        summarise_denial(&mut state.summaries, from, to, at_millis);
         return;
     }
 
-    let (decision, hit) = if config.cache_decisions {
-        let (decision, hit) = cache.check(
-            src.component.context(),
-            src.context_hash,
+    // Per-message contextual AC at message-type granularity (payload deliveries only —
+    // flow-only tasks were admission-checked at subscribe time). Mirrors the bus's
+    // send-time AC check; denials carry no flow check, so they are counted in the
+    // pair summary like isolation denials.
+    if let Some(body) = &body {
+        let message_type = body.message_type();
+        let (ac, hit) = if config.cache_ac_decisions {
+            state.ac_cache.decide(
+                &directory.access,
+                &to,
+                src.component.principal(),
+                Operation::Send,
+                Some(message_type),
+                &state.snapshot,
+                Timestamp(at_millis),
+            )
+        } else {
+            let decision = directory.access.decide(
+                &to,
+                src.component.principal(),
+                Operation::Send,
+                Some(message_type),
+                &state.snapshot,
+                Timestamp(at_millis),
+            );
+            (decision, false)
+        };
+        if hit {
+            local.ac_cache_hits += 1;
+        } else {
+            local.ac_cache_misses += 1;
+        }
+        if !ac.is_allowed() {
+            local.denied += 1;
+            summarise_denial(&mut state.summaries, from, to, at_millis);
+            return;
+        }
+    }
+
+    // IFC over the message's *effective* source context: the sender's current secrecy
+    // joined with any message-level secrecy tags (integrity comes from the sender
+    // alone, as on the bus). The common case — no extra tags — reuses the endpoint's
+    // precomputed context hash, so cache keying costs nothing.
+    let extra = body.as_ref().map(DeliveryBody::extra_context);
+    let effective: Option<(SecurityContext, u64)> = match extra {
+        Some(context) if !context.secrecy().is_empty() => {
+            let joined = SecurityContext::new(
+                src.component.context().secrecy().union(context.secrecy()),
+                src.component.context().integrity().clone(),
+            );
+            let hash = context_hash64(&joined);
+            Some((joined, hash))
+        }
+        _ => None,
+    };
+    let (source_context, source_hash) = match &effective {
+        Some((context, hash)) => (context, *hash),
+        None => (src.component.context(), src.context_hash),
+    };
+
+    let (decision, hit): (FlowDecision, bool) = if config.cache_decisions {
+        let (decision, hit) = state.cache.check(
+            source_context,
+            source_hash,
             dst.component.context(),
             dst.context_hash,
         );
@@ -241,7 +421,7 @@ fn process_delivery(
         (decision, hit)
     } else {
         local.cache_misses += 1;
-        (can_flow(src.component.context(), dst.component.context()), false)
+        (can_flow(source_context, dst.component.context()), false)
     };
 
     let denied = decision.is_denied();
@@ -258,20 +438,31 @@ fn process_delivery(
         AuditDetail::Summarised => denied || !hit,
     };
     if full_record {
-        appender.append(
+        state.appender.append(
             AuditEvent::FlowChecked {
                 source: from.to_string(),
                 destination: to.to_string(),
-                source_context: src.component.context().clone(),
+                source_context: source_context.clone(),
                 destination_context: dst.component.context().clone(),
                 decision,
-                data_item: None,
+                data_item: body.as_ref().map(|b| format!("{}@{at_millis}", b.message_type())),
             },
             at_millis,
         );
     }
+
+    // Per-attribute source quenching and delivery accounting (allowed payloads only).
+    let mut quenched_now = 0u64;
+    if !denied {
+        if let Some(body) = body {
+            quenched_now =
+                deliver_payload(directory, config, state, local, &from, &to, dst, at_millis, body);
+        }
+    }
+
     if config.audit_detail == AuditDetail::Summarised {
-        let summary = summaries
+        let summary = state
+            .summaries
             .entry((from, to))
             .or_insert_with(|| PairSummary { first_millis: at_millis, ..PairSummary::default() });
         if denied {
@@ -279,6 +470,104 @@ fn process_delivery(
         } else {
             summary.allowed += 1;
         }
+        summary.quenched += quenched_now;
         summary.last_millis = at_millis;
     }
+}
+
+/// Quenches and delivers an allowed payload; returns how many attributes were
+/// quenched on this delivery.
+#[allow(clippy::too_many_arguments)]
+fn deliver_payload(
+    directory: &Directory,
+    config: &DataplaneConfig,
+    state: &mut WorkerState,
+    local: &mut BatchCounters,
+    from: &Arc<str>,
+    to: &Arc<str>,
+    dst: &Endpoint,
+    at_millis: u64,
+    body: DeliveryBody,
+) -> u64 {
+    match body {
+        DeliveryBody::Frozen(message) => {
+            // The quench mask is a pure function of (schema, destination secrecy):
+            // cache it per (schema hash, destination context hash). A destination
+            // context change either misses (new hash) or was dropped by the
+            // invalidation broadcast, so stale masks never apply.
+            let schema = message.schema();
+            let key = (schema.schema_hash(), dst.context_hash);
+            let (mask, fresh) = match state.quench_cache.get(&key) {
+                Some(mask) => (*mask, false),
+                None => {
+                    if state.quench_cache.len() >= config.cache_capacity {
+                        state.quench_cache.clear();
+                    }
+                    let mask = schema.quench_mask_for(dst.component.context().secrecy());
+                    state.quench_cache.insert(key, mask);
+                    (mask, true)
+                }
+            };
+            let quenched = u64::from(mask.count_ones());
+            if mask != 0 && (config.audit_detail == AuditDetail::Full || fresh) {
+                state.appender.append(
+                    AuditEvent::MessageQuenched {
+                        source: from.to_string(),
+                        destination: to.to_string(),
+                        message_type: message.message_type().to_string(),
+                        attributes: schema.mask_names(mask).map(str::to_string).collect(),
+                    },
+                    at_millis,
+                );
+            }
+            local.quenched += quenched;
+            local.payload_bytes += message.payload_byte_len() as u64;
+            if config.retain_deliveries > 0 {
+                // Observation affordance, off the hot path: materialise the quenched
+                // view only when retention is enabled.
+                push_inbox(dst, config.retain_deliveries, message.quench(mask).thaw());
+            }
+            quenched
+        }
+        DeliveryBody::Cloned { message, byte_len } => {
+            // The naive baseline: recompute the quench mask per delivery (no cache)
+            // and produce a quenched deep clone, exactly as the synchronous bus does.
+            let mut names: Vec<&str> = Vec::new();
+            if let Some(schema) = directory.schemas.get(&message.message_type) {
+                let mask = schema.quench_mask_for(dst.component.context().secrecy());
+                names.extend(schema.mask_names(mask));
+            }
+            let delivered = message.quenched(names.iter().copied());
+            let quenched = names.len() as u64;
+            let first_of_pair = state
+                .summaries
+                .get(&(Arc::clone(from), Arc::clone(to)))
+                .map_or(true, |summary| summary.quenched == 0);
+            if quenched > 0 && (config.audit_detail == AuditDetail::Full || first_of_pair) {
+                state.appender.append(
+                    AuditEvent::MessageQuenched {
+                        source: from.to_string(),
+                        destination: to.to_string(),
+                        message_type: message.message_type.to_string(),
+                        attributes: names.into_iter().map(String::from).collect(),
+                    },
+                    at_millis,
+                );
+            }
+            local.quenched += quenched;
+            local.payload_bytes += u64::from(byte_len);
+            if config.retain_deliveries > 0 {
+                push_inbox(dst, config.retain_deliveries, delivered);
+            }
+            quenched
+        }
+    }
+}
+
+fn push_inbox(dst: &Endpoint, capacity: usize, message: Message) {
+    let mut inbox = dst.inbox.lock();
+    if inbox.len() >= capacity {
+        inbox.pop_front();
+    }
+    inbox.push_back(message);
 }

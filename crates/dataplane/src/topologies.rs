@@ -6,10 +6,33 @@
 //! than synthetic stars.
 
 use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_ifc::{Label, SecurityContext};
 use legaliot_iot::{CityWorkload, HomeMonitoringWorkload, Thing};
-use legaliot_middleware::{Component, Principal};
+use legaliot_middleware::{
+    AttributeKind, AttributeValue, Component, Message, MessageSchema, MessageType, Principal,
+};
 
 use crate::engine::{Dataplane, DataplaneError};
+
+/// The demo payload schema the topologies register for every message type their
+/// components produce: a float reading, a text unit, and a `subject-id` attribute
+/// carrying the message-level `identity` tag (Fig. 10's tag `C`). No scenario
+/// subscriber holds `identity`, so every payload delivery exercises per-attribute
+/// source quenching.
+pub fn payload_schema(message_type: &MessageType) -> MessageSchema {
+    MessageSchema::new(message_type.as_str())
+        .attribute("value", AttributeKind::Float)
+        .attribute("unit", AttributeKind::Text)
+        .sensitive_attribute("subject-id", AttributeKind::Text, Label::from_names(["identity"]))
+}
+
+/// A message conforming to [`payload_schema`] for the given type.
+pub fn sample_message(message_type: &MessageType) -> Message {
+    Message::new(message_type.as_str(), SecurityContext::public())
+        .with("value", AttributeValue::Float(98.6))
+        .with("unit", AttributeValue::Text("bpm".into()))
+        .with("subject-id", AttributeValue::Text("subject-0017".into()))
+}
 
 /// A component graph: the things to register and the pub/sub edges to establish.
 #[derive(Debug, Clone)]
@@ -55,6 +78,47 @@ impl Topology {
             }
         }
         Ok(admitted)
+    }
+
+    /// Every message type produced by a component of this topology, deduplicated.
+    pub fn message_types(&self) -> Vec<MessageType> {
+        let mut types: Vec<MessageType> =
+            self.components.iter().flat_map(|c| c.produces().iter().cloned()).collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+
+    /// [`Topology::install`] plus [`payload_schema`] registration for every produced
+    /// message type, enabling [`Dataplane::publish_message`] on all publishers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates installation and schema-registration errors.
+    pub fn install_with_payload_schemas(
+        &self,
+        dataplane: &Dataplane,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Result<usize, DataplaneError> {
+        let admitted = self.install(dataplane, snapshot, now)?;
+        for message_type in self.message_types() {
+            dataplane.register_schema(payload_schema(&message_type))?;
+        }
+        Ok(admitted)
+    }
+
+    /// `(publisher, sample message)` pairs for payload-driving loops: each publisher
+    /// paired with a [`sample_message`] of the first type it produces.
+    pub fn publisher_messages(&self) -> Vec<(String, Message)> {
+        self.publishers()
+            .into_iter()
+            .filter_map(|name| {
+                let component = self.components.iter().find(|c| c.name() == name)?;
+                let message_type = component.produces().first()?;
+                Some((name, sample_message(message_type)))
+            })
+            .collect()
     }
 }
 
@@ -123,6 +187,27 @@ mod tests {
         // Every wired edge is IFC-legal in the scenario, so all must be admitted.
         assert_eq!(admitted, topology.edges.len());
         assert!(!topology.publishers().is_empty());
+    }
+
+    #[test]
+    fn payload_schemas_install_and_sample_messages_conform() {
+        let topology = smart_home(3, 7);
+        let dataplane = Dataplane::new("smart-home-payload-test", DataplaneConfig::default());
+        topology
+            .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+            .expect("install succeeds");
+        let pairs = topology.publisher_messages();
+        assert_eq!(pairs.len(), topology.publishers().len());
+        for (publisher, message) in &pairs {
+            dataplane.publish_message(publisher, message, Timestamp(2)).expect("publishes");
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.delivered, stats.published);
+        // `subject-id` carries the `identity` tag no subscriber holds: every delivery
+        // quenches exactly one attribute.
+        assert_eq!(stats.quenched_attributes, stats.delivered);
+        assert!(stats.payload_bytes > 0);
     }
 
     #[test]

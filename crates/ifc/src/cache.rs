@@ -43,6 +43,58 @@ pub fn str_hash64(value: &str) -> u64 {
     hash
 }
 
+/// An incremental builder over the same stable FNV-1a fold as [`str_hash64`] and
+/// [`context_hash64`], for callers that need a deterministic 64-bit key over several
+/// fields (e.g. an access-control decision key of `(component, principal, roles,
+/// operation, message type)` or a frozen message schema's identity).
+///
+/// Every written string is terminated with a separator byte so `["ab","c"]` and
+/// `["a","bc"]` hash differently, matching the convention [`context_hash64`] uses for
+/// tag names.
+///
+/// ```
+/// use legaliot_ifc::StableHasher;
+/// let a = StableHasher::new().write_str("analyser").write_str("ann").finish();
+/// let b = StableHasher::new().write_str("analyser").write_str("ann").finish();
+/// assert_eq!(a, b); // deterministic
+/// assert_ne!(a, StableHasher::new().write_str("analyserann").finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Starts a fresh hash at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+
+    /// Folds in a string followed by a separator byte.
+    #[must_use]
+    pub fn write_str(mut self, value: &str) -> Self {
+        fnv1a(&mut self.0, value.as_bytes());
+        fnv1a(&mut self.0, &[0x1f]);
+        self
+    }
+
+    /// Folds in a little-endian 64-bit value.
+    #[must_use]
+    pub fn write_u64(mut self, value: u64) -> Self {
+        fnv1a(&mut self.0, &value.to_le_bytes());
+        self
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
 fn hash_label(hash: &mut u64, label: &Label) {
     for tag in label.iter() {
         fnv1a(hash, tag.name().as_bytes());

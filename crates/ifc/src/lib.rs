@@ -57,7 +57,7 @@ pub mod privilege;
 pub mod registry;
 pub mod tag;
 
-pub use cache::{context_hash64, str_hash64, CacheStats, DecisionCache};
+pub use cache::{context_hash64, str_hash64, CacheStats, DecisionCache, StableHasher};
 pub use creep::{CreepAnalysis, CreepReport};
 pub use entity::{Entity, EntityId, EntityKind};
 pub use error::IfcError;

@@ -182,6 +182,9 @@ impl AccessDecision {
 pub struct AccessRegime {
     /// Rules scoped to a component name (the component whose resources are accessed).
     rules: BTreeMap<String, Vec<AccessRule>>,
+    /// Bumped on every rule-set mutation, so decision caches keyed on this regime can
+    /// detect staleness without comparing rule lists.
+    revision: u64,
 }
 
 impl AccessRegime {
@@ -192,17 +195,53 @@ impl AccessRegime {
 
     /// Adds a rule governing access to `component`.
     pub fn add_rule(&mut self, component: impl Into<String>, rule: AccessRule) {
+        self.revision += 1;
         self.rules.entry(component.into()).or_default().push(rule);
     }
 
     /// Removes all rules for a component, returning how many were removed.
     pub fn clear_component(&mut self, component: &str) -> usize {
+        self.revision += 1;
         self.rules.remove(component).map(|v| v.len()).unwrap_or(0)
     }
 
     /// Number of rules across all components.
     pub fn rule_count(&self) -> usize {
         self.rules.values().map(Vec::len).sum()
+    }
+
+    /// A counter bumped on every rule mutation. Decision caches remember the revision
+    /// their entries were computed under and clear themselves when it moves.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The context keys any rule governing `component` references, deduplicated.
+    ///
+    /// A cached decision for `component` must be invalidated when *any* of these keys
+    /// changes: a change can both un-match a previously matching rule and match a
+    /// previously inapplicable one, so the dependency set is the union over all rules,
+    /// not just the rules that matched.
+    pub fn referenced_context_keys(&self, component: &str) -> Vec<&str> {
+        let mut keys: Vec<&str> = self
+            .rules
+            .get(component)
+            .into_iter()
+            .flatten()
+            .flat_map(|rule| rule.condition.referenced_keys())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Whether any rule governing `component` has a time-dependent condition
+    /// ([`Condition::is_time_dependent`]); such components' decisions must not be
+    /// cached, as they can flip without any context change.
+    pub fn has_time_dependent_rules(&self, component: &str) -> bool {
+        self.rules
+            .get(component)
+            .is_some_and(|rules| rules.iter().any(|rule| rule.condition.is_time_dependent()))
     }
 
     /// Decides whether `principal` may perform `operation` (optionally on
@@ -407,6 +446,49 @@ mod tests {
                 Timestamp::ZERO
             )
             .is_allowed());
+    }
+
+    #[test]
+    fn revision_tracks_rule_mutations() {
+        let mut regime = AccessRegime::new();
+        assert_eq!(regime.revision(), 0);
+        regime.add_rule("c", AccessRule::allow(Subject::Anyone, Operation::Send, None));
+        assert_eq!(regime.revision(), 1);
+        regime.clear_component("c");
+        assert_eq!(regime.revision(), 2);
+    }
+
+    #[test]
+    fn referenced_keys_union_all_rules_for_a_component() {
+        let mut regime = AccessRegime::new();
+        regime.add_rule(
+            "c",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None)
+                .when(Condition::is_true("emergency.active")),
+        );
+        regime.add_rule(
+            "c",
+            AccessRule::deny(Subject::Principal("mallory".into()), Operation::Send, None)
+                .when(Condition::number_at_least("patient.heart-rate", 120.0)),
+        );
+        regime.add_rule(
+            "other",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None)
+                .when(Condition::is_true("unrelated")),
+        );
+        assert_eq!(
+            regime.referenced_context_keys("c"),
+            vec!["emergency.active", "patient.heart-rate"]
+        );
+        assert!(regime.referenced_context_keys("missing").is_empty());
+        assert!(!regime.has_time_dependent_rules("c"));
+        regime.add_rule(
+            "c",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None)
+                .when(Condition::within_time(0, 100)),
+        );
+        assert!(regime.has_time_dependent_rules("c"));
+        assert!(!regime.has_time_dependent_rules("other"));
     }
 
     #[test]

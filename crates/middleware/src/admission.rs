@@ -9,12 +9,14 @@
 //! audit. A [`crate::bus::DeliveryOutcome`] (not an error) is returned because a refusal
 //! is an expected, auditable outcome.
 
-use legaliot_context::{ContextSnapshot, Timestamp};
-use legaliot_ifc::can_flow;
+use legaliot_context::{ContextSnapshot, ContextStore, Timestamp};
+use legaliot_ifc::{can_flow, StableHasher};
+use legaliot_policy::{AcCacheStats, AcDecisionCache};
 
-use crate::acl::{AccessDecision, AccessRegime, Operation};
+use crate::acl::{AccessDecision, AccessRegime, Operation, Principal};
 use crate::bus::DeliveryOutcome;
 use crate::component::Component;
+use crate::schema::MessageType;
 
 /// Runs the full channel-admission sequence for a prospective channel
 /// `source → destination`.
@@ -54,6 +56,149 @@ pub fn admit_channel(
     }
     let ac =
         access.decide(destination.name(), source.principal(), Operation::Send, None, snapshot, now);
+    if let AccessDecision::Denied { reason } = ac {
+        return DeliveryOutcome::DeniedByAccessControl { reason };
+    }
+    let decision = can_flow(source.context(), destination.context());
+    if decision.is_denied() {
+        DeliveryOutcome::DeniedByIfc(decision)
+    } else {
+        DeliveryOutcome::Delivered { quenched_attributes: Vec::new() }
+    }
+}
+
+/// A cache of [`AccessRegime`] decisions for one enforcement surface (an engine's
+/// control plane, or one dataplane shard), wrapping a context-keyed
+/// [`AcDecisionCache`] with regime-revision staleness detection.
+///
+/// Correctness contract: snapshots passed to [`AdmissionCache::decide`] must derive
+/// from the [`ContextStore`] the cache is [`AdmissionCache::attach`]ed to (and
+/// [`AdmissionCache::sync`] must run after store or regime changes, before deciding) —
+/// key-level invalidation watches exactly that store. Components governed by
+/// time-dependent rules are never cached and always re-evaluated.
+#[derive(Debug, Default)]
+pub struct AdmissionCache {
+    cache: AcDecisionCache<AccessDecision>,
+    regime_revision: u64,
+}
+
+impl AdmissionCache {
+    /// Creates a cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache holding at most `capacity` decisions.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AdmissionCache { cache: AcDecisionCache::with_capacity(capacity), regime_revision: 0 }
+    }
+
+    /// Subscribes to `store` for key-level invalidation (see [`AcDecisionCache::attach`]).
+    pub fn attach(&mut self, store: &ContextStore) {
+        self.cache.attach(store);
+    }
+
+    /// Brings the cache up to date: clears it when the regime's rule set changed, and
+    /// drops entries whose referenced context keys changed in the store. Returns how
+    /// many entries were dropped.
+    pub fn sync(&mut self, store: &ContextStore, access: &AccessRegime) -> usize {
+        let mut dropped = 0;
+        if access.revision() != self.regime_revision {
+            self.regime_revision = access.revision();
+            dropped += self.cache.len();
+            self.cache.clear();
+        }
+        dropped + self.cache.sync(store)
+    }
+
+    /// The stable cache key for an AC question. Includes the principal's roles: rule
+    /// matching is role-sensitive, so two principals sharing a name but not roles must
+    /// not share decisions.
+    fn decision_key(
+        component: &str,
+        principal: &Principal,
+        operation: Operation,
+        message_type: Option<&MessageType>,
+    ) -> u64 {
+        let mut hasher = StableHasher::new()
+            .write_str(component)
+            .write_str(&principal.name)
+            .write_u64(principal.roles.len() as u64);
+        for role in &principal.roles {
+            hasher = hasher.write_str(role);
+        }
+        hasher = match operation {
+            Operation::Send => hasher.write_str("send"),
+            Operation::Receive => hasher.write_str("receive"),
+            Operation::Reconfigure => hasher.write_str("reconfigure"),
+        };
+        match message_type {
+            Some(mt) => hasher.write_str(mt.as_str()),
+            None => hasher.write_u64(0),
+        }
+        .finish()
+    }
+
+    /// Decides via the cache, evaluating the regime on a miss. The boolean is `true`
+    /// when the decision came from the cache. Components with time-dependent rules
+    /// bypass the cache entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide(
+        &mut self,
+        access: &AccessRegime,
+        component: &str,
+        principal: &Principal,
+        operation: Operation,
+        message_type: Option<&MessageType>,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> (AccessDecision, bool) {
+        if access.has_time_dependent_rules(component) {
+            let decision =
+                access.decide(component, principal, operation, message_type, snapshot, now);
+            return (decision, false);
+        }
+        let key = Self::decision_key(component, principal, operation, message_type);
+        if let Some(decision) = self.cache.lookup(key) {
+            return (decision, true);
+        }
+        let decision = access.decide(component, principal, operation, message_type, snapshot, now);
+        self.cache.insert(key, decision.clone(), access.referenced_context_keys(component));
+        (decision, false)
+    }
+
+    /// Current effectiveness counters of the underlying decision cache.
+    pub fn stats(&self) -> AcCacheStats {
+        self.cache.stats()
+    }
+}
+
+/// [`admit_channel`] with the AC step answered through an [`AdmissionCache`]: the same
+/// §8.2.2 sequence (isolation → AC → IFC), with the rule-set evaluation amortised
+/// across repeated admission checks of the same `(destination, principal)` question.
+///
+/// The caller owns cache hygiene: [`AdmissionCache::sync`] against the regime and the
+/// attached [`ContextStore`] before deciding, and snapshots derived from that store.
+pub fn admit_channel_cached(
+    source: &Component,
+    destination: &Component,
+    access: &AccessRegime,
+    snapshot: &ContextSnapshot,
+    now: Timestamp,
+    cache: &mut AdmissionCache,
+) -> DeliveryOutcome {
+    if source.is_isolated() || destination.is_isolated() {
+        return DeliveryOutcome::Isolated;
+    }
+    let (ac, _hit) = cache.decide(
+        access,
+        destination.name(),
+        source.principal(),
+        Operation::Send,
+        None,
+        snapshot,
+        now,
+    );
     if let AccessDecision::Denied { reason } = ac {
         return DeliveryOutcome::DeniedByAccessControl { reason };
     }
@@ -110,5 +255,102 @@ mod tests {
         // Everything passing admits the channel with nothing quenched.
         let outcome = admit_channel(&src, &dst, &open_access(&["dst"]), &snapshot, Timestamp(4));
         assert_eq!(outcome, DeliveryOutcome::Delivered { quenched_attributes: vec![] });
+    }
+
+    #[test]
+    fn cached_admission_agrees_with_uncached_and_hits() {
+        use legaliot_context::ContextStore;
+        use legaliot_policy::Condition;
+
+        let store = ContextStore::new();
+        store.set("emergency.active", false, Timestamp(0));
+        let mut access = AccessRegime::new();
+        access.add_rule(
+            "dst",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None)
+                .when(Condition::is_true("emergency.active")),
+        );
+        let src = component("src", &["medical"]);
+        let dst = component("dst", &["medical"]);
+        let mut cache = AdmissionCache::new();
+        cache.attach(&store);
+
+        // Denied while the emergency flag is off; the denial is cached.
+        cache.sync(&store, &access);
+        let outcome =
+            admit_channel_cached(&src, &dst, &access, &store.snapshot(), Timestamp(1), &mut cache);
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
+        let outcome =
+            admit_channel_cached(&src, &dst, &access, &store.snapshot(), Timestamp(2), &mut cache);
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
+        assert_eq!(cache.stats().hits, 1);
+
+        // Flipping the referenced key invalidates the entry and flips the decision.
+        store.set("emergency.active", true, Timestamp(3));
+        assert_eq!(cache.sync(&store, &access), 1);
+        let outcome =
+            admit_channel_cached(&src, &dst, &access, &store.snapshot(), Timestamp(4), &mut cache);
+        assert!(outcome.is_delivered());
+
+        // A rule-set change clears the cache wholesale.
+        access.clear_component("dst");
+        assert!(cache.sync(&store, &access) >= 1);
+        let outcome =
+            admit_channel_cached(&src, &dst, &access, &store.snapshot(), Timestamp(5), &mut cache);
+        assert!(matches!(outcome, DeliveryOutcome::DeniedByAccessControl { .. }));
+    }
+
+    #[test]
+    fn time_dependent_rules_bypass_the_cache() {
+        use legaliot_context::ContextStore;
+        use legaliot_policy::Condition;
+
+        let store = ContextStore::new();
+        let mut access = AccessRegime::new();
+        access.add_rule(
+            "dst",
+            AccessRule::allow(Subject::Anyone, Operation::Send, None)
+                .when(Condition::within_time(0, 10)),
+        );
+        let mut cache = AdmissionCache::new();
+        cache.attach(&store);
+        cache.sync(&store, &access);
+        let principal = Principal::new("owner");
+        let snapshot = store.snapshot();
+        let (d, hit) = cache.decide(
+            &access,
+            "dst",
+            &principal,
+            Operation::Send,
+            None,
+            &snapshot,
+            Timestamp(5),
+        );
+        assert!(d.is_allowed() && !hit);
+        // Inside vs outside the window flips without any context change — which is
+        // exactly why it must never be served from the cache.
+        let (d, hit) = cache.decide(
+            &access,
+            "dst",
+            &principal,
+            Operation::Send,
+            None,
+            &snapshot,
+            Timestamp(50),
+        );
+        assert!(!d.is_allowed() && !hit);
+    }
+
+    #[test]
+    fn decision_keys_distinguish_roles_operations_and_types() {
+        let plain = Principal::new("nina");
+        let nurse = Principal::new("nina").with_role("nurse");
+        let mt = MessageType::new("sensor-reading");
+        let base = AdmissionCache::decision_key("c", &plain, Operation::Send, None);
+        assert_ne!(base, AdmissionCache::decision_key("c", &nurse, Operation::Send, None));
+        assert_ne!(base, AdmissionCache::decision_key("c", &plain, Operation::Receive, None));
+        assert_ne!(base, AdmissionCache::decision_key("c", &plain, Operation::Send, Some(&mt)));
+        assert_ne!(base, AdmissionCache::decision_key("d", &plain, Operation::Send, None));
+        assert_eq!(base, AdmissionCache::decision_key("c", &plain, Operation::Send, None));
     }
 }

@@ -439,23 +439,27 @@ impl Middleware {
         }
 
         // Source quenching: attributes whose message-level secrecy tags are not all
-        // present in the destination's secrecy label are removed (Fig. 10).
-        let mut quenched = Vec::new();
+        // present in the destination's secrecy label are removed (Fig. 10). Names are
+        // borrowed from the schema; the only `String`s allocated are the ones the
+        // outcome itself reports.
+        let mut quenched: Vec<&str> = Vec::new();
         if let Some(schema) = self.registry.schema(&message.message_type) {
             for (name, label) in &schema.attribute_secrecy {
                 if message.attributes.contains_key(name)
                     && !label.is_subset(destination.context().secrecy())
                 {
-                    quenched.push(name.clone());
+                    quenched.push(name.as_str());
                 }
             }
         }
-        let mut delivered = message.quenched(&quenched);
+        let mut delivered = message.quenched(quenched.iter().copied());
         delivered.sender = from.to_string();
         delivered.sent_at_millis = now.as_millis();
         delivered.context = effective_context;
         self.mailboxes.entry(to.to_string()).or_default().push(delivered);
-        Ok(DeliveryOutcome::Delivered { quenched_attributes: quenched })
+        Ok(DeliveryOutcome::Delivered {
+            quenched_attributes: quenched.into_iter().map(String::from).collect(),
+        })
     }
 
     /// Drains the mailbox of a component.

@@ -29,8 +29,11 @@ pub mod control;
 pub mod schema;
 
 pub use acl::{AccessDecision, AccessRegime, AccessRule, Operation, Principal, Subject};
-pub use admission::admit_channel;
+pub use admission::{admit_channel, admit_channel_cached, AdmissionCache};
 pub use bus::{Channel, ChannelState, DeliveryOutcome, Middleware, MiddlewareError};
 pub use component::{Component, ComponentBuilder, Registry};
 pub use control::{ControlMessage, ControlOutcome, ReconfigureOp};
-pub use schema::{AttributeValue, Message, MessageSchema, MessageType};
+pub use schema::{
+    encoded_payload_len, AttributeKind, AttributeValue, FrozenMessage, FrozenSchema, Message,
+    MessageSchema, MessageType, Payload, MAX_FROZEN_ATTRIBUTES,
+};

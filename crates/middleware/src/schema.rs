@@ -9,10 +9,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use legaliot_ifc::{Label, SecurityContext};
+use legaliot_ifc::{Label, SecurityContext, StableHasher};
 
 /// The name of a message type (e.g. `sensor-reading`, `actuation-command`).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -200,10 +202,17 @@ impl Message {
 
     /// Returns a copy of this message with the named attributes removed — the
     /// *source-quenched* form delivered when some attributes' tags do not accord.
-    pub fn quenched(&self, removed: &[String]) -> Message {
+    ///
+    /// Accepts any iterator of string-likes (`&str`, `String`, `&String`, …) so call
+    /// sites never have to allocate fresh `String`s just to name the attributes.
+    pub fn quenched<I>(&self, removed: I) -> Message
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
         let mut out = self.clone();
         for name in removed {
-            out.attributes.remove(name);
+            out.attributes.remove(name.as_ref());
         }
         out
     }
@@ -212,6 +221,424 @@ impl Message {
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}({} attrs) from {}", self.message_type, self.attributes.len(), self.sender)
+    }
+}
+
+/// The largest number of attributes a schema may declare and still be frozen: presence
+/// and quench state of a [`FrozenMessage`] is a single `u64` bitmask over attribute
+/// indices, which is what makes per-delivery quenching O(attributes) bit work instead
+/// of a map clone.
+pub const MAX_FROZEN_ATTRIBUTES: usize = 64;
+
+fn kind_tag(kind: AttributeKind) -> &'static str {
+    match kind {
+        AttributeKind::Text => "text",
+        AttributeKind::Integer => "integer",
+        AttributeKind::Float => "float",
+        AttributeKind::Bool => "bool",
+    }
+}
+
+/// An immutable, shareable compilation of a [`MessageSchema`] for the enforcement hot
+/// path: attribute names are interned once (`Arc<[Arc<str>]>`), kinds and message-level
+/// secrecy labels are index-aligned arrays, and the sensitive attributes are a bitmask,
+/// so per-delivery source quenching (Fig. 10) touches no allocations.
+///
+/// Frozen schemas are handed around as `Arc<FrozenSchema>`; every [`FrozenMessage`] of
+/// the type shares the same name table.
+#[derive(Debug, Clone)]
+pub struct FrozenSchema {
+    message_type: MessageType,
+    /// Attribute names, sorted — the interned name table shared by every message.
+    names: Arc<[Arc<str>]>,
+    /// Attribute kinds, index-aligned with `names`.
+    kinds: Box<[AttributeKind]>,
+    /// Message-level secrecy labels, index-aligned with `names`.
+    secrecy: Box<[Option<Label>]>,
+    /// Bitmask of indices that carry a message-level secrecy label.
+    sensitive_mask: u64,
+    /// Stable 64-bit identity of this schema (type, names, kinds, secrecy tags).
+    schema_hash: u64,
+}
+
+impl FrozenSchema {
+    /// Compiles a schema into its frozen form.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the schema declares more than [`MAX_FROZEN_ATTRIBUTES`] attributes.
+    pub fn new(schema: &MessageSchema) -> Result<Self, String> {
+        if schema.attributes.len() > MAX_FROZEN_ATTRIBUTES {
+            return Err(format!(
+                "schema `{}` declares {} attributes; frozen schemas support at most {}",
+                schema.message_type,
+                schema.attributes.len(),
+                MAX_FROZEN_ATTRIBUTES
+            ));
+        }
+        let names: Arc<[Arc<str>]> =
+            schema.attributes.keys().map(|name| Arc::from(name.as_str())).collect();
+        let kinds: Box<[AttributeKind]> = schema.attributes.values().copied().collect();
+        let mut sensitive_mask = 0u64;
+        let secrecy: Box<[Option<Label>]> = names
+            .iter()
+            .enumerate()
+            .map(|(index, name)| {
+                let label = schema.attribute_secrecy.get(&**name).cloned();
+                if label.is_some() {
+                    sensitive_mask |= 1 << index;
+                }
+                label
+            })
+            .collect();
+        let mut hasher = StableHasher::new().write_str(schema.message_type.as_str());
+        for (index, name) in names.iter().enumerate() {
+            hasher = hasher.write_str(name).write_str(kind_tag(kinds[index]));
+            if let Some(label) = &secrecy[index] {
+                for tag in label.iter() {
+                    hasher = hasher.write_str(tag.name());
+                }
+            }
+        }
+        Ok(FrozenSchema {
+            message_type: schema.message_type.clone(),
+            names,
+            kinds,
+            secrecy,
+            sensitive_mask,
+            schema_hash: hasher.finish(),
+        })
+    }
+
+    /// The message type this schema describes.
+    pub fn message_type(&self) -> &MessageType {
+        &self.message_type
+    }
+
+    /// Number of declared attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema declares no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The interned attribute-name table (sorted).
+    pub fn names(&self) -> &Arc<[Arc<str>]> {
+        &self.names
+    }
+
+    /// The index of an attribute name, if declared.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.binary_search_by(|candidate| (**candidate).cmp(name)).ok()
+    }
+
+    /// The kind of the attribute at `index`.
+    pub fn kind(&self, index: usize) -> AttributeKind {
+        self.kinds[index]
+    }
+
+    /// The message-level secrecy label of the attribute at `index`, if any.
+    pub fn secrecy(&self, index: usize) -> Option<&Label> {
+        self.secrecy[index].as_ref()
+    }
+
+    /// Bitmask of attributes carrying message-level secrecy tags.
+    pub fn sensitive_mask(&self) -> u64 {
+        self.sensitive_mask
+    }
+
+    /// Stable 64-bit identity of this schema, suitable for keying quench caches.
+    pub fn schema_hash(&self) -> u64 {
+        self.schema_hash
+    }
+
+    /// The bitmask of attributes that must be *source-quenched* for a destination
+    /// holding `destination_secrecy` (Fig. 10): every attribute whose message-level
+    /// tags are not all present in the destination's secrecy label. O(sensitive
+    /// attributes), no allocation.
+    pub fn quench_mask_for(&self, destination_secrecy: &Label) -> u64 {
+        let mut mask = 0u64;
+        let mut remaining = self.sensitive_mask;
+        while remaining != 0 {
+            let index = remaining.trailing_zeros() as usize;
+            remaining &= remaining - 1;
+            let label = self.secrecy[index].as_ref().expect("sensitive bit implies label");
+            if !label.is_subset(destination_secrecy) {
+                mask |= 1 << index;
+            }
+        }
+        mask
+    }
+
+    /// The attribute names selected by `mask`, in index order (for audit records).
+    pub fn mask_names(&self, mask: u64) -> impl Iterator<Item = &str> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .filter(move |(index, _)| mask & (1 << index) != 0)
+            .map(|(_, name)| &**name)
+    }
+
+    /// Validates a message against this schema with the same semantics (and error
+    /// wording) as [`MessageSchema::validate`].
+    pub fn validate(&self, message: &Message) -> Result<(), String> {
+        if message.message_type != self.message_type {
+            return Err(format!(
+                "message type `{}` does not match schema `{}`",
+                message.message_type, self.message_type
+            ));
+        }
+        for (index, name) in self.names.iter().enumerate() {
+            match message.attributes.get(&**name) {
+                None => return Err(format!("missing attribute `{name}`")),
+                Some(v) if v.kind() != self.kinds[index] => {
+                    return Err(format!("attribute `{name}` has the wrong type"))
+                }
+                Some(_) => {}
+            }
+        }
+        if message.attributes.len() > self.names.len() {
+            for name in message.attributes.keys() {
+                if self.index_of(name).is_none() {
+                    return Err(format!("undeclared attribute `{name}`"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn encoded_value_len(value: &AttributeValue) -> usize {
+    match value {
+        AttributeValue::Text(s) => s.len(),
+        AttributeValue::Integer(_) | AttributeValue::Float(_) => 8,
+        AttributeValue::Bool(_) => 1,
+    }
+}
+
+/// The encoded payload size of a message's attribute values under the
+/// [`Payload`] wire format, without encoding anything (used for bytes-moved
+/// accounting in clone-based baselines).
+pub fn encoded_payload_len(message: &Message) -> usize {
+    message.attributes.values().map(encoded_value_len).sum()
+}
+
+/// The attribute values of one message encoded back-to-back into a single immutable,
+/// reference-counted buffer ([`Bytes`]), with an offset table shared via `Arc`.
+///
+/// Cloning a payload is two refcount bumps; no message data is ever copied after
+/// freezing. Values decode lazily against the schema's kind table.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    buffer: Bytes,
+    /// `len + 1` byte offsets into `buffer`; attribute `i` occupies
+    /// `buffer[offsets[i]..offsets[i + 1]]`.
+    offsets: Arc<[u32]>,
+}
+
+impl Payload {
+    fn encode(message: &Message, schema: &FrozenSchema) -> Payload {
+        let total: usize = message.attributes.values().map(encoded_value_len).sum();
+        let mut buffer = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(schema.len() + 1);
+        offsets.push(0u32);
+        for name in schema.names.iter() {
+            let value = &message.attributes[&**name];
+            match value {
+                AttributeValue::Text(s) => buffer.extend_from_slice(s.as_bytes()),
+                AttributeValue::Integer(i) => buffer.extend_from_slice(&i.to_le_bytes()),
+                AttributeValue::Float(x) => buffer.extend_from_slice(&x.to_bits().to_le_bytes()),
+                AttributeValue::Bool(b) => buffer.push(u8::from(*b)),
+            }
+            offsets.push(buffer.len() as u32);
+        }
+        Payload { buffer: Bytes::from(buffer), offsets: Arc::from(offsets) }
+    }
+
+    /// Total encoded size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn decode(&self, index: usize, kind: AttributeKind) -> AttributeValue {
+        let start = self.offsets[index] as usize;
+        let end = self.offsets[index + 1] as usize;
+        let bytes = &self.buffer[start..end];
+        match kind {
+            AttributeKind::Text => {
+                AttributeValue::Text(String::from_utf8_lossy(bytes).into_owned())
+            }
+            AttributeKind::Integer => {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(bytes);
+                AttributeValue::Integer(i64::from_le_bytes(raw))
+            }
+            AttributeKind::Float => {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(bytes);
+                AttributeValue::Float(f64::from_bits(u64::from_le_bytes(raw)))
+            }
+            AttributeKind::Bool => AttributeValue::Bool(bytes[0] != 0),
+        }
+    }
+}
+
+/// A validated, immutable message frozen against a [`FrozenSchema`]: the zero-copy
+/// representation the dataplane carries through its shards.
+///
+/// All heavy state is shared (`Arc`/[`Bytes`]), so cloning one — e.g. once per
+/// subscriber in a fan-out — is a handful of refcount bumps. Quenching clears bits in
+/// the `present` mask and shares everything else, in contrast to
+/// [`Message::quenched`]'s full map clone.
+#[derive(Debug, Clone)]
+pub struct FrozenMessage {
+    schema: Arc<FrozenSchema>,
+    payload: Payload,
+    /// The message-level security context the application attached (extra secrecy
+    /// tags; integrity always comes from the sender at enforcement time).
+    extra_context: Arc<SecurityContext>,
+    sender: Arc<str>,
+    sent_at_millis: u64,
+    /// Bitmask of attributes still present (quenching clears bits).
+    present: u64,
+}
+
+impl FrozenMessage {
+    /// Validates `message` against `schema` and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same schema-violation message [`MessageSchema::validate`] would.
+    pub fn freeze(message: &Message, schema: Arc<FrozenSchema>) -> Result<FrozenMessage, String> {
+        schema.validate(message)?;
+        let payload = Payload::encode(message, &schema);
+        let present = if schema.len() == MAX_FROZEN_ATTRIBUTES {
+            u64::MAX
+        } else {
+            (1u64 << schema.len()) - 1
+        };
+        Ok(FrozenMessage {
+            payload,
+            extra_context: Arc::new(message.context.clone()),
+            sender: Arc::from(message.sender.as_str()),
+            sent_at_millis: message.sent_at_millis,
+            present,
+            schema,
+        })
+    }
+
+    /// Replaces the sender (the middleware stamps the publishing endpoint's name).
+    #[must_use]
+    pub fn with_sender(mut self, sender: Arc<str>) -> Self {
+        self.sender = sender;
+        self
+    }
+
+    /// Replaces the send time (the middleware stamps the publish timestamp).
+    #[must_use]
+    pub fn with_sent_at(mut self, at_millis: u64) -> Self {
+        self.sent_at_millis = at_millis;
+        self
+    }
+
+    /// The schema this message was frozen against.
+    pub fn schema(&self) -> &Arc<FrozenSchema> {
+        &self.schema
+    }
+
+    /// The message's type.
+    pub fn message_type(&self) -> &MessageType {
+        self.schema.message_type()
+    }
+
+    /// The sending component's name.
+    pub fn sender(&self) -> &str {
+        &self.sender
+    }
+
+    /// Simulated send time (ms).
+    pub fn sent_at_millis(&self) -> u64 {
+        self.sent_at_millis
+    }
+
+    /// The message-level security context (application-supplied extra tags).
+    pub fn extra_context(&self) -> &SecurityContext {
+        &self.extra_context
+    }
+
+    /// Bitmask of attributes still present.
+    pub fn present_mask(&self) -> u64 {
+        self.present
+    }
+
+    /// Number of attributes still present.
+    pub fn attribute_count(&self) -> usize {
+        self.present.count_ones() as usize
+    }
+
+    /// Encoded payload size in bytes (shared across clones and quenched forms).
+    pub fn payload_byte_len(&self) -> usize {
+        self.payload.byte_len()
+    }
+
+    /// Decodes a present attribute by name.
+    pub fn get(&self, name: &str) -> Option<AttributeValue> {
+        let index = self.schema.index_of(name)?;
+        if self.present & (1 << index) == 0 {
+            return None;
+        }
+        Some(self.payload.decode(index, self.schema.kind(index)))
+    }
+
+    /// Iterates the present attributes as `(name, value)` in name order, decoding
+    /// values on the fly.
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, AttributeValue)> + '_ {
+        self.schema
+            .names
+            .iter()
+            .enumerate()
+            .filter(move |(index, _)| self.present & (1 << index) != 0)
+            .map(move |(index, name)| {
+                (&**name, self.payload.decode(index, self.schema.kind(index)))
+            })
+    }
+
+    /// The source-quenched form with the attributes in `mask` removed: shares the
+    /// payload buffer, the name table and the context — only the presence bitmask
+    /// changes.
+    #[must_use]
+    pub fn quench(&self, mask: u64) -> FrozenMessage {
+        let mut out = self.clone();
+        out.present &= !mask;
+        out
+    }
+
+    /// Reconstructs the mutable [`Message`] form (decoding every present attribute).
+    /// `freeze` followed by `thaw` round-trips exactly.
+    pub fn thaw(&self) -> Message {
+        Message {
+            message_type: self.schema.message_type.clone(),
+            attributes: self.attributes().map(|(name, value)| (name.to_string(), value)).collect(),
+            context: (*self.extra_context).clone(),
+            sender: self.sender.to_string(),
+            sent_at_millis: self.sent_at_millis,
+        }
+    }
+}
+
+impl fmt::Display for FrozenMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({} attrs, {} bytes) from {}",
+            self.schema.message_type,
+            self.attribute_count(),
+            self.payload.byte_len(),
+            self.sender
+        )
     }
 }
 
@@ -278,6 +705,106 @@ mod tests {
     }
 
     #[test]
+    fn frozen_schema_interns_names_and_masks_sensitive_attributes() {
+        let schema = Arc::new(FrozenSchema::new(&reading_schema()).unwrap());
+        assert_eq!(schema.message_type().as_str(), "sensor-reading");
+        assert_eq!(schema.len(), 3);
+        assert!(!schema.is_empty());
+        // Sorted name table; `patient-name` sorts first.
+        assert_eq!(schema.index_of("patient-name"), Some(0));
+        assert_eq!(schema.index_of("unit"), Some(1));
+        assert_eq!(schema.index_of("value"), Some(2));
+        assert_eq!(schema.index_of("missing"), None);
+        assert_eq!(schema.kind(2), AttributeKind::Float);
+        assert_eq!(schema.sensitive_mask(), 0b001);
+        assert_eq!(schema.secrecy(0), Some(&Label::from_names(["identity"])));
+        assert!(schema.secrecy(1).is_none());
+        // The schema hash is stable and distinguishes schemas.
+        let again = FrozenSchema::new(&reading_schema()).unwrap();
+        assert_eq!(schema.schema_hash(), again.schema_hash());
+        let other = FrozenSchema::new(&MessageSchema::new("other")).unwrap();
+        assert_ne!(schema.schema_hash(), other.schema_hash());
+    }
+
+    #[test]
+    fn frozen_schema_rejects_too_many_attributes() {
+        let mut schema = MessageSchema::new("wide");
+        for i in 0..=MAX_FROZEN_ATTRIBUTES {
+            schema = schema.attribute(format!("a{i:02}"), AttributeKind::Bool);
+        }
+        assert!(FrozenSchema::new(&schema).unwrap_err().contains("at most"));
+    }
+
+    #[test]
+    fn frozen_validation_matches_schema_validation() {
+        let schema = FrozenSchema::new(&reading_schema()).unwrap();
+        assert!(schema.validate(&reading_message()).is_ok());
+        let missing = Message::new("sensor-reading", SecurityContext::public())
+            .with("value", AttributeValue::Float(1.0))
+            .with("unit", AttributeValue::Text("bpm".into()));
+        assert!(schema.validate(&missing).unwrap_err().contains("missing"));
+        let wrong = reading_message().with("value", AttributeValue::Text("high".into()));
+        assert!(schema.validate(&wrong).unwrap_err().contains("wrong type"));
+        let undeclared = reading_message().with("extra", AttributeValue::Bool(true));
+        assert!(schema.validate(&undeclared).unwrap_err().contains("undeclared"));
+        let wrong_type = Message::new("other", SecurityContext::public());
+        assert!(schema.validate(&wrong_type).unwrap_err().contains("does not match"));
+    }
+
+    #[test]
+    fn freeze_then_thaw_round_trips() {
+        let schema = Arc::new(FrozenSchema::new(&reading_schema()).unwrap());
+        let mut message = reading_message();
+        message.sender = "ann-sensor".into();
+        message.sent_at_millis = 42;
+        let frozen = FrozenMessage::freeze(&message, Arc::clone(&schema)).unwrap();
+        assert_eq!(frozen.thaw(), message);
+        assert_eq!(frozen.attribute_count(), 3);
+        assert_eq!(frozen.sender(), "ann-sensor");
+        assert_eq!(frozen.sent_at_millis(), 42);
+        assert_eq!(frozen.get("unit"), Some(AttributeValue::Text("bpm".into())));
+        assert_eq!(frozen.get("value"), Some(AttributeValue::Float(72.0)));
+        assert!(frozen.get("missing").is_none());
+        assert!(frozen.payload_byte_len() > 0);
+        assert!(frozen.to_string().contains("sensor-reading"));
+        // The schema freeze fails on is a schema violation, not a panic.
+        let bad = Message::new("other", SecurityContext::public());
+        assert!(FrozenMessage::freeze(&bad, schema).is_err());
+    }
+
+    #[test]
+    fn frozen_quenching_is_a_bitmask_over_shared_buffers() {
+        let schema = Arc::new(FrozenSchema::new(&reading_schema()).unwrap());
+        let frozen = FrozenMessage::freeze(&reading_message(), Arc::clone(&schema)).unwrap();
+        // A destination without `identity` quenches exactly `patient-name`.
+        let mask = schema.quench_mask_for(&Label::from_names(["medical"]));
+        assert_eq!(mask, 0b001);
+        assert_eq!(schema.mask_names(mask).collect::<Vec<_>>(), vec!["patient-name"]);
+        // A destination holding `identity` quenches nothing.
+        assert_eq!(schema.quench_mask_for(&Label::from_names(["medical", "identity"])), 0);
+        let quenched = frozen.quench(mask);
+        assert_eq!(quenched.attribute_count(), 2);
+        assert!(quenched.get("patient-name").is_none());
+        assert_eq!(quenched.get("unit"), Some(AttributeValue::Text("bpm".into())));
+        // The original is untouched and the payload buffer is shared, not copied.
+        assert_eq!(frozen.attribute_count(), 3);
+        assert_eq!(quenched.payload_byte_len(), frozen.payload_byte_len());
+        // Thawing the quenched form agrees with the BTreeMap-based quench.
+        assert_eq!(
+            quenched.thaw().attributes,
+            reading_message().quenched(["patient-name"]).attributes
+        );
+    }
+
+    #[test]
+    fn encoded_payload_len_matches_frozen_encoding() {
+        let schema = Arc::new(FrozenSchema::new(&reading_schema()).unwrap());
+        let message = reading_message();
+        let frozen = FrozenMessage::freeze(&message, schema).unwrap();
+        assert_eq!(encoded_payload_len(&message), frozen.payload_byte_len());
+    }
+
+    #[test]
     fn value_kinds_and_display() {
         assert_eq!(AttributeValue::Text("x".into()).kind(), AttributeKind::Text);
         assert_eq!(AttributeValue::Integer(1).kind(), AttributeKind::Integer);
@@ -286,5 +813,60 @@ mod tests {
         assert_eq!(AttributeValue::Bool(true).to_string(), "true");
         assert_eq!(MessageType::new("t").to_string(), "t");
         assert!(reading_message().to_string().contains("sensor-reading"));
+    }
+
+    mod freeze_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A five-attribute schema exercising every kind, with two sensitive attrs.
+        fn wide_schema() -> MessageSchema {
+            MessageSchema::new("mixed")
+                .attribute("count", AttributeKind::Integer)
+                .attribute("level", AttributeKind::Float)
+                .attribute("ok", AttributeKind::Bool)
+                .sensitive_attribute("note", AttributeKind::Text, Label::from_names(["identity"]))
+                .sensitive_attribute(
+                    "who",
+                    AttributeKind::Text,
+                    Label::from_names(["identity", "medical"]),
+                )
+        }
+
+        proptest! {
+            /// Satellite: freezing a message and quenching *any* attribute subset
+            /// agrees exactly with the `BTreeMap`-based `Message::quenched` result.
+            #[test]
+            fn prop_frozen_quench_equals_map_quench(
+                count in -1_000_000i64..1_000_000,
+                level in 0.0f64..1000.0,
+                ok in proptest::bool::ANY,
+                note in "[a-z ]{0,12}",
+                who in "[a-z]{1,8}",
+                subset in 0u64..32,
+            ) {
+                let schema = Arc::new(FrozenSchema::new(&wide_schema()).unwrap());
+                let mut message = Message::new(
+                    "mixed",
+                    SecurityContext::from_names(["medical"], Vec::<&str>::new()),
+                )
+                .with("count", AttributeValue::Integer(count))
+                .with("level", AttributeValue::Float(level))
+                .with("ok", AttributeValue::Bool(ok))
+                .with("note", AttributeValue::Text(note))
+                .with("who", AttributeValue::Text(who));
+                message.sender = "prop-sender".into();
+                message.sent_at_millis = 9;
+
+                let frozen = FrozenMessage::freeze(&message, Arc::clone(&schema)).unwrap();
+                prop_assert_eq!(frozen.thaw(), message.clone());
+
+                let names: Vec<String> =
+                    schema.mask_names(subset).map(str::to_string).collect();
+                let thawed = frozen.quench(subset).thaw();
+                let expected = message.quenched(&names);
+                prop_assert_eq!(thawed, expected);
+            }
+        }
     }
 }

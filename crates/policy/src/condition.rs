@@ -165,6 +165,25 @@ impl Condition {
         }
     }
 
+    /// Whether any part of this condition depends on the evaluation time
+    /// ([`Condition::WithinTime`]). Time-dependent conditions cannot be cached by
+    /// context-keyed decision caches ([`crate::AcDecisionCache`]): their outcome can
+    /// change without any context key changing.
+    pub fn is_time_dependent(&self) -> bool {
+        match self {
+            Condition::WithinTime { .. } => true,
+            Condition::Always
+            | Condition::Never
+            | Condition::IsTrue { .. }
+            | Condition::IsFalse { .. }
+            | Condition::TextEquals { .. }
+            | Condition::NumberAtLeast { .. }
+            | Condition::NumberBelow { .. } => false,
+            Condition::Not(inner) => inner.is_time_dependent(),
+            Condition::All(cs) | Condition::Any(cs) => cs.iter().any(Condition::is_time_dependent),
+        }
+    }
+
     /// The context keys this condition references (used for conflict detection and for
     /// subscribing the engine to relevant context changes only).
     pub fn referenced_keys(&self) -> Vec<&str> {
@@ -290,6 +309,18 @@ mod tests {
             Condition::Any(v) => assert_eq!(v.len(), 3),
             other => panic!("expected Any, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn time_dependence_is_detected_through_combinators() {
+        assert!(Condition::within_time(0, 10).is_time_dependent());
+        assert!(Condition::is_true("a").and(Condition::within_time(0, 10)).is_time_dependent());
+        assert!(Condition::within_time(0, 10).negate().is_time_dependent());
+        assert!(!Condition::is_true("a")
+            .and(Condition::number_below("b", 1.0))
+            .is_time_dependent());
+        assert!(!Condition::Always.is_time_dependent());
+        assert!(!Condition::Never.is_time_dependent());
     }
 
     #[test]

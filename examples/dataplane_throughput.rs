@@ -1,19 +1,32 @@
 //! Dataplane throughput: single-shard uncached (the synchronous-bus-equivalent
-//! baseline) vs the sharded, decision-cached, audit-summarising dataplane, on the
-//! smart-home (Fig. 7) and smart-city topologies.
+//! baseline) vs the sharded, decision-cached, audit-summarising dataplane — flow-only
+//! and payload-carrying — on the smart-home (Fig. 10 quenching over Fig. 7's topology)
+//! and smart-city workloads.
+//!
+//! The payload rows compare the zero-copy hot path (freeze once, `Arc` per
+//! subscriber, bitmask quenching, AC+IFC decision caches) against the naive
+//! clone-per-delivery baseline (deep `Message` clone per subscriber, map-clone
+//! quenching, no caches).
 //!
 //! Run with: `cargo run --release --example dataplane_throughput [-- MESSAGES]`
-//! (default 1,000,000 messages per configuration per topology).
+//! (default 1,000,000 messages per configuration per topology). Writes the results
+//! machine-readably to `BENCH_dataplane.json` at the repo root so CI can track the
+//! perf trajectory PR-over-PR.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use legaliot::context::{ContextSnapshot, Timestamp};
 use legaliot::dataplane::{
-    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, Topology,
+    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, PayloadMode, Topology,
 };
+use legaliot::middleware::Message;
 
 struct ConfigSpec {
     label: &'static str,
+    /// `true` drives `publish_message` (payload hot path), `false` drives the
+    /// flow-only `publish`.
+    payload: bool,
     config: DataplaneConfig,
 }
 
@@ -23,9 +36,11 @@ fn configurations() -> Vec<ConfigSpec> {
         // a full audit record per message, no batching — what the synchronous bus does.
         ConfigSpec {
             label: "1 shard, uncached, full audit",
+            payload: false,
             config: DataplaneConfig {
                 shards: 1,
                 cache_decisions: false,
+                cache_ac_decisions: false,
                 audit_detail: AuditDetail::Full,
                 audit_batch: 1,
                 // Bounded in-memory retention (chain-anchored pruning) so a million
@@ -37,6 +52,7 @@ fn configurations() -> Vec<ConfigSpec> {
         // Decision cache + audit summarisation on one shard: isolates the caching win.
         ConfigSpec {
             label: "1 shard, cached, summarised",
+            payload: false,
             config: DataplaneConfig {
                 shards: 1,
                 cache_decisions: true,
@@ -45,9 +61,10 @@ fn configurations() -> Vec<ConfigSpec> {
                 ..DataplaneConfig::default()
             },
         },
-        // The dataplane configuration: 4 shards, cached, summarised, batched.
+        // The flow-only dataplane configuration: 4 shards, cached, summarised, batched.
         ConfigSpec {
             label: "4 shards, cached, summarised",
+            payload: false,
             config: DataplaneConfig {
                 shards: 4,
                 cache_decisions: true,
@@ -56,12 +73,103 @@ fn configurations() -> Vec<ConfigSpec> {
                 ..DataplaneConfig::default()
             },
         },
+        // Naive payload baseline: deep clone per delivery, map-clone quenching, every
+        // AC and IFC decision recomputed — what a straight port of the bus would do.
+        ConfigSpec {
+            label: "1 shard, payload clone-each, uncached",
+            payload: true,
+            config: DataplaneConfig {
+                shards: 1,
+                payload_mode: PayloadMode::CloneEach,
+                cache_decisions: false,
+                cache_ac_decisions: false,
+                audit_detail: AuditDetail::Summarised,
+                audit_batch: 1024,
+                audit_retention: Some(65_536),
+                ..DataplaneConfig::default()
+            },
+        },
+        // The zero-copy payload hot path on one shard: isolates representation+caching.
+        ConfigSpec {
+            label: "1 shard, payload zero-copy, cached",
+            payload: true,
+            config: DataplaneConfig {
+                shards: 1,
+                payload_mode: PayloadMode::ZeroCopy,
+                cache_decisions: true,
+                cache_ac_decisions: true,
+                audit_detail: AuditDetail::Summarised,
+                audit_batch: 1024,
+                audit_retention: Some(65_536),
+                ..DataplaneConfig::default()
+            },
+        },
+        // The full payload dataplane: 4 shards, zero-copy, all caches.
+        ConfigSpec {
+            label: "4 shards, payload zero-copy, cached",
+            payload: true,
+            config: DataplaneConfig {
+                shards: 4,
+                payload_mode: PayloadMode::ZeroCopy,
+                cache_decisions: true,
+                cache_ac_decisions: true,
+                audit_detail: AuditDetail::Summarised,
+                audit_batch: 1024,
+                audit_retention: Some(65_536),
+                ..DataplaneConfig::default()
+            },
+        },
     ]
 }
 
-fn run_topology(topology: &Topology, messages: u64) {
+struct ConfigResult {
+    label: String,
+    mode: &'static str,
+    msgs_per_sec: f64,
+    bytes_per_sec: f64,
+    delivered: u64,
+    denied: u64,
+    quenched_attributes: u64,
+    ifc_cache_hit_ratio: f64,
+    ac_cache_hit_ratio: f64,
+    speedup_vs_baseline: f64,
+}
+
+fn drive_flow(dataplane: &Dataplane, publishers: &[String], messages: u64) -> u64 {
+    let mut published = 0u64;
+    let mut clock = 2u64;
+    'outer: loop {
+        for publisher in publishers {
+            published += dataplane.publish(publisher, Timestamp(clock)).unwrap() as u64;
+            clock += 1;
+            if published >= messages {
+                break 'outer;
+            }
+        }
+    }
+    published
+}
+
+fn drive_payload(dataplane: &Dataplane, pairs: &[(String, Message)], messages: u64) -> u64 {
+    let mut published = 0u64;
+    let mut clock = 2u64;
+    'outer: loop {
+        for (publisher, message) in pairs {
+            published +=
+                dataplane.publish_message(publisher, message, Timestamp(clock)).unwrap() as u64;
+            clock += 1;
+            if published >= messages {
+                break 'outer;
+            }
+        }
+    }
+    published
+}
+
+fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
     println!("\n== {} topology ==", topology.name);
     let publishers = topology.publishers();
+    let pairs = topology.publisher_messages();
     println!(
         "   {} components, {} channels, {} publishers, {} messages per configuration",
         topology.components.len(),
@@ -70,25 +178,21 @@ fn run_topology(topology: &Topology, messages: u64) {
         messages
     );
 
-    let mut baseline_rate = None;
+    let mut results: Vec<ConfigResult> = Vec::new();
+    let mut flow_baseline = None;
+    let mut payload_baseline = None;
     for spec in configurations() {
         let dataplane = Dataplane::new(topology.name.clone(), spec.config.clone());
         let admitted = topology
-            .install(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+            .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
             .expect("topology installs");
         assert_eq!(admitted, topology.edges.len(), "all scenario channels are legal");
 
         let start = Instant::now();
-        let mut published = 0u64;
-        let mut clock = 2u64;
-        'outer: loop {
-            for publisher in &publishers {
-                published += dataplane.publish(publisher, Timestamp(clock)).unwrap() as u64;
-                clock += 1;
-                if published >= messages {
-                    break 'outer;
-                }
-            }
+        if spec.payload {
+            drive_payload(&dataplane, &pairs, messages);
+        } else {
+            drive_flow(&dataplane, &publishers, messages);
         }
         dataplane.drain();
         let elapsed = start.elapsed();
@@ -100,24 +204,96 @@ fn run_topology(topology: &Topology, messages: u64) {
         );
 
         let rate = stats.published as f64 / elapsed.as_secs_f64();
-        let speedup = match baseline_rate {
+        let bytes_per_sec = stats.payload_bytes as f64 / elapsed.as_secs_f64();
+        let baseline = if spec.payload { &mut payload_baseline } else { &mut flow_baseline };
+        let speedup = match *baseline {
             None => {
-                baseline_rate = Some(rate);
+                *baseline = Some(rate);
                 1.0
             }
             Some(base) => rate / base,
         };
         println!(
-            "   {:<32} {:>10.0} msgs/s   {:>5.2}x   delivered {} denied {} cache-hit {:>5.1}%  audit-records {}",
+            "   {:<38} {:>10.0} msgs/s {:>7.1} MB/s  {:>5.2}x  delivered {} denied {} quenched {} ifc-hit {:>5.1}% ac-hit {:>5.1}%",
             spec.label,
             rate,
+            bytes_per_sec / 1e6,
             speedup,
             stats.delivered,
             stats.denied,
+            stats.quenched_attributes,
             stats.cache_hit_ratio() * 100.0,
-            report.shard_audit.iter().map(legaliot::audit::AuditLog::len).sum::<usize>(),
+            stats.ac_cache_hit_ratio() * 100.0,
         );
+        results.push(ConfigResult {
+            label: spec.label.to_string(),
+            mode: if spec.payload { "payload" } else { "flow" },
+            msgs_per_sec: rate,
+            bytes_per_sec,
+            delivered: stats.delivered,
+            denied: stats.denied,
+            quenched_attributes: stats.quenched_attributes,
+            ifc_cache_hit_ratio: stats.cache_hit_ratio(),
+            ac_cache_hit_ratio: stats.ac_cache_hit_ratio(),
+            speedup_vs_baseline: speedup,
+        });
     }
+    results
+}
+
+/// Renders the results as JSON by hand (stable key order, no dependencies) and writes
+/// them to `BENCH_dataplane.json` at the repo root.
+fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>)]) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"dataplane_throughput\",");
+    let _ = writeln!(json, "  \"messages_per_config\": {messages},");
+    json.push_str("  \"topologies\": {\n");
+    for (t_index, (name, results)) in all.iter().enumerate() {
+        let _ = writeln!(json, "    \"{name}\": {{");
+        json.push_str("      \"configs\": [\n");
+        for (index, r) in results.iter().enumerate() {
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"label\": \"{}\",", r.label);
+            let _ = writeln!(json, "          \"mode\": \"{}\",", r.mode);
+            let _ = writeln!(json, "          \"msgs_per_sec\": {:.0},", r.msgs_per_sec);
+            let _ = writeln!(json, "          \"bytes_per_sec\": {:.0},", r.bytes_per_sec);
+            let _ = writeln!(json, "          \"delivered\": {},", r.delivered);
+            let _ = writeln!(json, "          \"denied\": {},", r.denied);
+            let _ = writeln!(json, "          \"quenched_attributes\": {},", r.quenched_attributes);
+            let _ =
+                writeln!(json, "          \"ifc_cache_hit_ratio\": {:.4},", r.ifc_cache_hit_ratio);
+            let _ =
+                writeln!(json, "          \"ac_cache_hit_ratio\": {:.4},", r.ac_cache_hit_ratio);
+            let _ =
+                writeln!(json, "          \"speedup_vs_baseline\": {:.3}", r.speedup_vs_baseline);
+            let _ =
+                writeln!(json, "        }}{}", if index + 1 < results.len() { "," } else { "" });
+        }
+        json.push_str("      ],\n");
+        let clone_baseline = results
+            .iter()
+            .find(|r| r.label.contains("clone-each"))
+            .map(|r| r.msgs_per_sec)
+            .unwrap_or(0.0);
+        let best_payload = results
+            .iter()
+            .filter(|r| r.mode == "payload")
+            .map(|r| r.msgs_per_sec)
+            .fold(0.0f64, f64::max);
+        let payload_speedup =
+            if clone_baseline > 0.0 { best_payload / clone_baseline } else { 0.0 };
+        let _ = writeln!(
+            json,
+            "      \"payload_zero_copy_speedup_over_clone_baseline\": {payload_speedup:.3}"
+        );
+        let _ = writeln!(json, "    }}{}", if t_index + 1 < all.len() { "," } else { "" });
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_dataplane.json");
+    std::fs::write(path, json).expect("write BENCH_dataplane.json");
+    println!("\nwrote {path}");
 }
 
 fn main() {
@@ -129,8 +305,13 @@ fn main() {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
 
+    let mut all = Vec::new();
     // Smart home: 8 patients (sensors + analysers + sanitiser + stats pipeline).
-    run_topology(&smart_home(8, 2016), messages);
+    let home = smart_home(8, 2016);
+    all.push((home.name.clone(), run_topology(&home, messages)));
     // Smart city: 4 districts × 8 sensors feeding gateways, analytics, anonymiser.
-    run_topology(&smart_city(4, 8), messages);
+    let city = smart_city(4, 8);
+    all.push((city.name.clone(), run_topology(&city, messages)));
+
+    write_bench_json(messages, &all);
 }
