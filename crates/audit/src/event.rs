@@ -39,6 +39,9 @@ pub enum AuditEventKind {
     BreakGlass,
     /// Attributes of a delivered message were source-quenched (Fig. 10).
     MessageQuenched,
+    /// Enforcement allowed a delivery, but the subscriber's bounded mailbox shed it
+    /// (drop-oldest overflow): the consumer never observed the message.
+    DeliveryDropped,
 }
 
 impl fmt::Display for AuditEventKind {
@@ -54,6 +57,7 @@ impl fmt::Display for AuditEventKind {
             AuditEventKind::DataDerived => "data-derived",
             AuditEventKind::BreakGlass => "break-glass",
             AuditEventKind::MessageQuenched => "message-quenched",
+            AuditEventKind::DeliveryDropped => "delivery-dropped",
         };
         f.write_str(s)
     }
@@ -192,6 +196,23 @@ pub enum AuditEvent {
         /// The quenched attribute names.
         attributes: Vec<String>,
     },
+    /// Messages that passed enforcement for `source -> destination` were shed from the
+    /// destination's bounded mailbox under a drop-oldest overflow policy, so the
+    /// consumer never received them. Counterpart of the delivery evidence: every
+    /// admitted-but-unobserved message is accounted for.
+    DeliveryDropped {
+        /// Name of the source entity whose messages were shed.
+        source: String,
+        /// Name of the destination entity whose mailbox overflowed.
+        destination: String,
+        /// The message type concerned.
+        message_type: String,
+        /// How many deliveries this record accounts for. Enforcement points either
+        /// record each shed individually (`dropped: 1`) or fold a pair's sheds into
+        /// one summary record — never both for the same shed — so summing `dropped`
+        /// across records counts every shed delivery exactly once.
+        dropped: u64,
+    },
 }
 
 impl AuditEvent {
@@ -208,6 +229,7 @@ impl AuditEvent {
             AuditEvent::DataDerived { .. } => AuditEventKind::DataDerived,
             AuditEvent::BreakGlass { .. } => AuditEventKind::BreakGlass,
             AuditEvent::MessageQuenched { .. } => AuditEventKind::MessageQuenched,
+            AuditEvent::DeliveryDropped { .. } => AuditEventKind::DeliveryDropped,
         }
     }
 
@@ -249,6 +271,9 @@ impl AuditEvent {
             }
             AuditEvent::BreakGlass { policy, .. } => vec![policy.as_str()],
             AuditEvent::MessageQuenched { source, destination, .. } => {
+                vec![source.as_str(), destination.as_str()]
+            }
+            AuditEvent::DeliveryDropped { source, destination, .. } => {
                 vec![source.as_str(), destination.as_str()]
             }
         }
@@ -297,6 +322,12 @@ impl fmt::Display for AuditEvent {
                     f,
                     "quenched {} of {message_type} {source} -> {destination}",
                     attributes.join(", ")
+                )
+            }
+            AuditEvent::DeliveryDropped { source, destination, message_type, dropped } => {
+                write!(
+                    f,
+                    "dropped {dropped} {message_type} {source} -> {destination} (mailbox overflow)"
                 )
             }
         }
@@ -412,6 +443,23 @@ mod tests {
     #[test]
     fn record_id_display() {
         assert_eq!(RecordId(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn delivery_dropped_event() {
+        let e = AuditEvent::DeliveryDropped {
+            source: "sensor".into(),
+            destination: "analyser".into(),
+            message_type: "reading".into(),
+            dropped: 12,
+        };
+        assert_eq!(e.kind(), AuditEventKind::DeliveryDropped);
+        assert!(!e.is_denied_flow());
+        assert_eq!(e.entities(), vec!["sensor", "analyser"]);
+        let s = e.to_string();
+        assert!(s.contains("dropped 12"));
+        assert!(s.contains("overflow"));
+        assert_eq!(AuditEventKind::DeliveryDropped.to_string(), "delivery-dropped");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use legaliot_middleware::{
 use legaliot_policy::AcCacheStats;
 
 use crate::shard::{run_worker, DeliveryBody, ShardReport, ShardState, ShardTask};
+use crate::subscriber::{Mailbox, OverflowPolicy, Subscriber};
 
 /// How much audit evidence the data path records per message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,14 @@ pub struct DataplaneConfig {
     /// (post-quench) messages for inspection via [`Dataplane::take_delivered`]. Off
     /// (`0`) by default: the hot path then never materialises delivered bodies.
     pub retain_deliveries: usize,
+    /// Bounded capacity of each subscriber mailbox opened by
+    /// [`Dataplane::open_subscriber`] / [`Dataplane::subscribe_receiver`] (clamped to
+    /// ≥ 1). Endpoints without an open mailbox pay nothing.
+    pub mailbox_capacity: usize,
+    /// What a shard does when a delivery lands on a full mailbox: block until the
+    /// consumer makes space (lossless end-to-end backpressure) or shed the oldest
+    /// queued message with counted, audited `DeliveryDropped` evidence.
+    pub overflow: OverflowPolicy,
 }
 
 impl Default for DataplaneConfig {
@@ -102,6 +111,8 @@ impl Default for DataplaneConfig {
             audit_retention: None,
             payload_mode: PayloadMode::ZeroCopy,
             retain_deliveries: 0,
+            mailbox_capacity: 1024,
+            overflow: OverflowPolicy::Block,
         }
     }
 }
@@ -138,6 +149,13 @@ pub enum DataplaneError {
         /// The message type without a registered schema.
         message_type: String,
     },
+    /// [`Dataplane::open_subscriber`] found a live receiver already attached to the
+    /// endpoint; a mailbox has exactly one consuming handle. Drop (or
+    /// [`Subscriber::close`]) the existing handle first.
+    ReceiverAttached {
+        /// The endpoint with a live receiver.
+        name: String,
+    },
 }
 
 impl fmt::Display for DataplaneError {
@@ -155,6 +173,9 @@ impl fmt::Display for DataplaneError {
             }
             DataplaneError::UnknownSchema { message_type } => {
                 write!(f, "no schema registered for message type `{message_type}`")
+            }
+            DataplaneError::ReceiverAttached { name } => {
+                write!(f, "endpoint `{name}` already has a live receiver attached")
             }
         }
     }
@@ -177,6 +198,11 @@ pub(crate) struct Endpoint {
     /// [`DataplaneConfig::retain_deliveries`] is non-zero. Interior mutability so the
     /// shard can append under the directory *read* lock.
     pub inbox: parking_lot::Mutex<std::collections::VecDeque<Message>>,
+    /// The streaming receiver's bounded mailbox, present while a [`Subscriber`] has
+    /// been opened for this endpoint. Shards push enforced (post-quench) deliveries
+    /// into it under the directory *read* lock; a closed mailbox is skipped with one
+    /// atomic load, so torn-down consumers never slow the hot path.
+    pub mailbox: Option<Arc<Mailbox>>,
 }
 
 /// Shared mutable state: the endpoint directory, registered (frozen) message schemas,
@@ -223,8 +249,15 @@ pub struct DataplaneStats {
     pub ac_cache_misses: u64,
     /// Attributes removed by per-delivery source quenching (Fig. 10).
     pub quenched_attributes: u64,
-    /// Payload bytes carried by delivered messages (encoded size × deliveries).
+    /// Effective payload bytes moved to receivers: the encoded size of each delivered
+    /// message *minus* the spans of its quenched attributes, summed over deliveries —
+    /// what subscribers actually observe, not what publishers encoded.
     pub payload_bytes: u64,
+    /// Enforced deliveries handed to subscriber mailboxes (streaming receivers).
+    pub receiver_enqueued: u64,
+    /// Deliveries shed from full subscriber mailboxes under
+    /// [`OverflowPolicy::DropOldest`] (each evidenced as a `DeliveryDropped` record).
+    pub receiver_dropped: u64,
 }
 
 impl DataplaneStats {
@@ -395,9 +428,67 @@ impl Dataplane {
                 shard,
                 subscribers: Arc::new(Vec::new()),
                 inbox: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+                mailbox: None,
             },
         );
         Ok(())
+    }
+
+    /// Opens a streaming receiver for `name`: subsequent enforced (post-quench)
+    /// payload deliveries to the endpoint are queued in a bounded mailbox
+    /// ([`DataplaneConfig::mailbox_capacity`], [`DataplaneConfig::overflow`]) and
+    /// handed out through the returned [`Subscriber`] — as shared
+    /// `Arc<FrozenMessage>`s in zero-copy mode, so the hand-off never copies payload
+    /// bytes. Flow-only `publish` traffic carries no body and is not queued.
+    ///
+    /// Dropping (or closing) the handle tears the mailbox down: shards stop
+    /// enqueueing without blocking, and the endpoint can be re-opened afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::UnknownEndpoint`] if the endpoint is unregistered;
+    /// [`DataplaneError::ReceiverAttached`] if a live receiver already exists (a
+    /// mailbox has exactly one consuming handle).
+    pub fn open_subscriber(&self, name: &str) -> Result<Subscriber, DataplaneError> {
+        let mut directory = self.shared.directory.write();
+        let (key, endpoint) = directory
+            .endpoints
+            .get_key_value(name)
+            .ok_or_else(|| DataplaneError::UnknownEndpoint { name: name.to_string() })?;
+        let key = Arc::clone(key);
+        if endpoint.mailbox.as_ref().is_some_and(|mailbox| !mailbox.is_closed()) {
+            return Err(DataplaneError::ReceiverAttached { name: name.to_string() });
+        }
+        let mailbox = Arc::new(Mailbox::new(self.config.mailbox_capacity, self.config.overflow));
+        directory.endpoints.get_mut(name).expect("checked above").mailbox =
+            Some(Arc::clone(&mailbox));
+        Ok(Subscriber::new(key, mailbox))
+    }
+
+    /// [`Self::open_subscriber`] plus [`Self::subscribe`] in one call: opens the
+    /// receive handle, then runs the full admission sequence for
+    /// `subscriber ← publisher` and returns both. The handle is returned even when
+    /// admission refuses the edge (the endpoint may be admitted to other publishers,
+    /// or re-subscribed after a context change); nothing arrives on it until some
+    /// subscription is established.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::subscribe`] and [`Self::open_subscriber`]. The receiver is opened
+    /// *before* admission runs, and is closed again if admission errors, so an `Err`
+    /// leaves no subscription established and no receiver attached.
+    pub fn subscribe_receiver(
+        &self,
+        publisher: &str,
+        subscriber: &str,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Result<(DeliveryOutcome, Subscriber), DataplaneError> {
+        let handle = self.open_subscriber(subscriber)?;
+        // On error the handle drops here, closing the just-opened mailbox — the
+        // endpoint stays re-openable and no partial state survives the Err.
+        let outcome = self.subscribe(publisher, subscriber, snapshot, now)?;
+        Ok((outcome, handle))
     }
 
     /// Registers (or replaces) the schema for a message type, compiled once into its
@@ -434,11 +525,16 @@ impl Dataplane {
     }
 
     /// Removes an endpoint and every subscription involving it. In-flight messages to
-    /// or from it are dropped (counted as `missing_endpoint`).
+    /// or from it are dropped (counted as `missing_endpoint`), and its streaming
+    /// receiver, if open, is closed (consumers drain the backlog, then observe
+    /// `Disconnected`).
     pub fn deregister(&self, name: &str) -> Result<(), DataplaneError> {
         let mut directory = self.shared.directory.write();
-        if directory.endpoints.remove(name).is_none() {
+        let Some(endpoint) = directory.endpoints.remove(name) else {
             return Err(DataplaneError::UnknownEndpoint { name: name.to_string() });
+        };
+        if let Some(mailbox) = &endpoint.mailbox {
+            mailbox.close();
         }
         for endpoint in directory.endpoints.values_mut() {
             if endpoint.subscribers.iter().any(|(sub, _)| &**sub == name) {
@@ -691,13 +787,12 @@ impl Dataplane {
                 schema
                     .validate(message)
                     .map_err(|reason| DataplaneError::SchemaViolation { reason })?;
-                let byte_len = legaliot_middleware::encoded_payload_len(message) as u32;
                 let mut stamped = message.clone();
                 stamped.sender = from.to_string();
                 stamped.sent_at_millis = now.as_millis();
                 self.enqueue_fanout(&from, &subscribers, now, true, || {
                     // The per-subscriber deep clone *is* the baseline being measured.
-                    Some(DeliveryBody::Cloned { message: Box::new(stamped.clone()), byte_len })
+                    Some(DeliveryBody::Cloned(Box::new(stamped.clone())))
                 })
             }
         }
@@ -774,6 +869,11 @@ impl Dataplane {
     }
 
     /// Blocks until every enqueued task has been fully processed by its shard.
+    ///
+    /// Under [`OverflowPolicy::Block`], a shard parked on a full subscriber mailbox
+    /// counts as unprocessed work: `drain` then returns only once the consumer makes
+    /// space (or its handle closes) — the same end-to-end backpressure `publish`
+    /// exhibits. Drain from a different thread than the one consuming.
     pub fn drain(&self) {
         let mut spins = 0u32;
         loop {
@@ -814,8 +914,22 @@ impl Dataplane {
             stats.ac_cache_misses += shard.counters.ac_cache_misses.load(Ordering::Relaxed);
             stats.quenched_attributes += shard.counters.quenched.load(Ordering::Relaxed);
             stats.payload_bytes += shard.counters.payload_bytes.load(Ordering::Relaxed);
+            stats.receiver_enqueued += shard.counters.receiver_enqueued.load(Ordering::Relaxed);
+            stats.receiver_dropped += shard.counters.receiver_dropped.load(Ordering::Relaxed);
         }
         stats
+    }
+
+    /// Closes every open subscriber mailbox: shards stop enqueueing, blocked
+    /// consumers wake, and each consumer observes `Disconnected` once its backlog is
+    /// drained. Run at shutdown (after workers exit, so nothing enqueued is lost).
+    fn close_mailboxes(&self) {
+        let directory = self.shared.directory.read();
+        for endpoint in directory.endpoints.values() {
+            if let Some(mailbox) = &endpoint.mailbox {
+                mailbox.close();
+            }
+        }
     }
 
     /// Drains outstanding work, stops every worker and returns the final report with
@@ -835,6 +949,9 @@ impl Dataplane {
             cache_stats.push(report.cache_stats);
             ac_cache_stats.push(report.ac_cache_stats);
         }
+        // Workers are gone, so every enforced delivery is in its mailbox; closing now
+        // lets consumers drain the backlog and then observe Disconnected.
+        self.close_mailboxes();
         let stats = self.stats();
         let (control_audit, admission_cache_stats) = {
             let mut directory = self.shared.directory.write();
@@ -872,6 +989,12 @@ impl Drop for Dataplane {
         if self.workers.is_empty() {
             return;
         }
+        // Close mailboxes *before* joining: a shard parked on a full Block-policy
+        // mailbox would otherwise never pop the Shutdown task and the join below
+        // would hang forever. This is the abandon path — discarding undelivered
+        // mailbox items is fine (`shutdown()` is the graceful path and closes only
+        // after the workers have finished enqueueing).
+        self.close_mailboxes();
         for shard in &self.shared.shards {
             shard.counters.in_flight.fetch_add(1, Ordering::SeqCst);
             shard.queue.push(ShardTask::Shutdown);

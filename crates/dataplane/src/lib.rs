@@ -40,12 +40,20 @@
 //! * **Admission reuse** — subscriptions run the exact bus admission sequence via
 //!   [`legaliot_middleware::admission::admit_channel`] (isolation → access control →
 //!   IFC), audited on a control-plane log.
+//! * **Streaming receivers** — [`Dataplane::open_subscriber`] /
+//!   [`Dataplane::subscribe_receiver`] hand consumers a [`Subscriber`] over a bounded
+//!   per-endpoint mailbox ([`subscriber`]): enforced, post-quench bodies arrive as
+//!   shared `Arc<FrozenMessage>`s (zero-copy end to end), with
+//!   `recv`/`try_recv`/`recv_timeout`/`drain` receives and a configurable overflow
+//!   policy — block the shard (lossless backpressure) or drop-oldest with counted,
+//!   audited [`legaliot_audit::AuditEvent::DeliveryDropped`] evidence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod queue;
+pub mod subscriber;
 pub mod topologies;
 
 mod shard;
@@ -53,6 +61,9 @@ mod shard;
 pub use engine::{
     AuditDetail, Dataplane, DataplaneConfig, DataplaneError, DataplaneReport, DataplaneStats,
     PayloadMode,
+};
+pub use subscriber::{
+    OverflowPolicy, ReceivedMessage, RecvError, RecvTimeoutError, Subscriber, TryRecvError,
 };
 pub use topologies::{payload_schema, sample_message, smart_city, smart_home, Topology};
 
@@ -578,6 +589,161 @@ mod tests {
         let report = dataplane.shutdown();
         let invalidated: u64 = report.ac_cache_stats.iter().map(|s| s.invalidated).sum();
         assert!(invalidated >= 6, "each subscriber's cached decision was dropped twice");
+    }
+
+    /// Tentpole acceptance: the streaming receiver observes exactly the enforced,
+    /// post-quench bodies, zero-copy (the mailbox hand-off shares the frozen payload
+    /// buffer; nothing is re-encoded or deep-cloned).
+    #[test]
+    fn subscriber_receives_post_quench_bodies_zero_copy() {
+        use legaliot_middleware::AttributeValue;
+
+        let dataplane = two_pair_plane(DataplaneConfig::default());
+        dataplane.register_schema(reading_schema()).unwrap();
+        let receiver = dataplane.open_subscriber("b").unwrap();
+        assert_eq!(receiver.name(), "b");
+        // A mailbox has exactly one live handle.
+        assert_eq!(
+            dataplane.open_subscriber("b").unwrap_err(),
+            DataplaneError::ReceiverAttached { name: "b".into() }
+        );
+        for t in 10..13 {
+            dataplane.publish_message("a", &reading_message(), Timestamp(t)).unwrap();
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.receiver_enqueued, 3);
+        assert_eq!(stats.receiver_dropped, 0);
+        let received: Vec<_> = receiver.drain();
+        assert_eq!(received.len(), 3);
+        for message in &received {
+            assert_eq!(message.sender(), "a");
+            // `b` lacks `secret-id`: the subscriber never observes `patient`.
+            assert!(message.get("patient").is_none());
+            assert_eq!(message.get("value"), Some(AttributeValue::Float(72.0)));
+            assert_eq!(message.attribute_count(), 1);
+        }
+        // Zero-copy witness: a second subscriber receiving the same publish observes
+        // the *same* frozen payload buffer (the fan-out and the mailbox hand-off are
+        // refcount bumps, never payload copies).
+        dataplane.register(endpoint("b2", &["t", "b-only"])).unwrap();
+        dataplane.allow_sends_to("b2");
+        assert!(dataplane.subscribe("a", "b2", &snap(), Timestamp(14)).unwrap().is_delivered());
+        let receiver2 = dataplane.open_subscriber("b2").unwrap();
+        dataplane.publish_message("a", &reading_message(), Timestamp(15)).unwrap();
+        dataplane.drain();
+        let on_b = receiver.recv().unwrap();
+        let on_b2 = receiver2.recv().unwrap();
+        assert!(std::ptr::eq(
+            on_b.frozen().expect("zero-copy mode").payload().as_slice().as_ptr(),
+            on_b2.frozen().expect("zero-copy mode").payload().as_slice().as_ptr(),
+        ));
+        drop(receiver2);
+
+        // Dropping the handle closes the mailbox: shards stop enqueueing (no hang,
+        // no error), and the endpoint can be re-opened for a fresh mailbox.
+        drop(receiver);
+        dataplane.publish_message("a", &reading_message(), Timestamp(20)).unwrap();
+        dataplane.drain();
+        assert_eq!(dataplane.stats().receiver_enqueued, 5);
+        let reopened = dataplane.open_subscriber("b").unwrap();
+        dataplane.publish_message("a", &reading_message(), Timestamp(21)).unwrap();
+        dataplane.drain();
+        assert_eq!(reopened.len(), 1);
+
+        // Shutdown closes mailboxes: the backlog is received, then Disconnected.
+        let report = dataplane.shutdown();
+        assert!(reopened.recv().is_ok());
+        assert_eq!(reopened.recv().unwrap_err(), RecvError::Disconnected);
+        assert!(report.shard_audit.iter().all(|log| log.verify_chain().is_intact()));
+    }
+
+    /// Drop-oldest overflow sheds the oldest deliveries, counts them, and leaves
+    /// `DeliveryDropped` evidence whose totals account for every shed message —
+    /// exactly once per shed in *both* audit modes (full mode records per-drop,
+    /// summarised mode folds per-pair totals; never both).
+    #[test]
+    fn drop_oldest_overflow_is_counted_and_evidenced() {
+        for audit_detail in [AuditDetail::Summarised, AuditDetail::Full] {
+            drop_oldest_evidence_totals_exactly_once(audit_detail);
+        }
+    }
+
+    fn drop_oldest_evidence_totals_exactly_once(audit_detail: AuditDetail) {
+        use legaliot_audit::AuditEvent;
+
+        let config = DataplaneConfig {
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::DropOldest,
+            audit_detail,
+            ..DataplaneConfig::default()
+        };
+        let dataplane = two_pair_plane(config);
+        dataplane.register_schema(reading_schema()).unwrap();
+        let receiver = dataplane.open_subscriber("b").unwrap();
+        for t in 10..15 {
+            dataplane.publish_message("a", &reading_message(), Timestamp(t)).unwrap();
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.receiver_enqueued, 5);
+        assert_eq!(stats.receiver_dropped, 3);
+        assert_eq!(receiver.dropped(), 3);
+        // The two newest deliveries survive.
+        let received = receiver.drain();
+        assert_eq!(received.len(), 2);
+        assert_eq!(
+            received.iter().map(ReceivedMessage::sent_at_millis).collect::<Vec<_>>(),
+            vec![13, 14]
+        );
+        // Audit evidence totals every shed delivery exactly once, whichever mode.
+        let report = dataplane.shutdown();
+        let dropped_total: u64 = report
+            .merged_timeline()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                AuditEvent::DeliveryDropped { dropped, ref source, ref destination, .. } => {
+                    assert_eq!((source.as_str(), destination.as_str()), ("a", "b"));
+                    Some(dropped)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(dropped_total, 3, "{audit_detail:?}");
+    }
+
+    /// Block overflow never sheds: a full mailbox parks the shard, which
+    /// backpressures publishers end-to-end, and a concurrent consumer releases it.
+    #[test]
+    fn block_overflow_backpressures_until_the_consumer_drains() {
+        let config = DataplaneConfig {
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            shards: 2,
+            ..DataplaneConfig::default()
+        };
+        let dataplane = two_pair_plane(config);
+        dataplane.register_schema(reading_schema()).unwrap();
+        let receiver = dataplane.open_subscriber("b").unwrap();
+        let consumer = std::thread::spawn(move || {
+            let mut received = Vec::new();
+            while let Ok(message) = receiver.recv() {
+                received.push(message.sent_at_millis());
+            }
+            received
+        });
+        for t in 10..30 {
+            dataplane.publish_message("a", &reading_message(), Timestamp(t)).unwrap();
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.receiver_enqueued, 20);
+        assert_eq!(stats.receiver_dropped, 0);
+        // Shutdown closes the mailbox; the consumer exits after draining everything.
+        dataplane.shutdown();
+        let received = consumer.join().unwrap();
+        assert_eq!(received, (10..30).collect::<Vec<u64>>());
     }
 
     #[test]

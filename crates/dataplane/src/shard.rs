@@ -29,10 +29,11 @@ use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
 use legaliot_context::{ContextSnapshot, Timestamp};
 use legaliot_ifc::{can_flow, context_hash64, DecisionCache, FlowDecision, SecurityContext};
 use legaliot_middleware::admission::AdmissionCache;
-use legaliot_middleware::{FrozenMessage, Message, MessageType, Operation};
+use legaliot_middleware::{encoded_payload_len, FrozenMessage, Message, MessageType, Operation};
 
 use crate::engine::{AuditDetail, DataplaneConfig, Directory, Endpoint, SharedState};
 use crate::queue::BoundedQueue;
+use crate::subscriber::{MailboxPush, ReceivedMessage};
 
 /// A message body carried by a [`ShardTask::Deliver`].
 #[derive(Debug)]
@@ -41,20 +42,15 @@ pub(crate) enum DeliveryBody {
     /// cost one refcount bump at publish time.
     Frozen(Arc<FrozenMessage>),
     /// Clone-per-delivery baseline: a deep copy made for this subscriber at publish
-    /// time, plus its pre-computed encoded size for bytes-moved accounting.
-    Cloned {
-        /// The per-subscriber deep clone.
-        message: Box<Message>,
-        /// Encoded payload size (the zero-copy representation's byte length).
-        byte_len: u32,
-    },
+    /// time.
+    Cloned(Box<Message>),
 }
 
 impl DeliveryBody {
     fn message_type(&self) -> &MessageType {
         match self {
             DeliveryBody::Frozen(message) => message.message_type(),
-            DeliveryBody::Cloned { message, .. } => &message.message_type,
+            DeliveryBody::Cloned(message) => &message.message_type,
         }
     }
 
@@ -62,7 +58,7 @@ impl DeliveryBody {
     fn extra_context(&self) -> &SecurityContext {
         match self {
             DeliveryBody::Frozen(message) => message.extra_context(),
-            DeliveryBody::Cloned { message, .. } => &message.context,
+            DeliveryBody::Cloned(message) => &message.context,
         }
     }
 }
@@ -109,6 +105,8 @@ pub(crate) struct ShardCounters {
     pub ac_cache_misses: AtomicU64,
     pub quenched: AtomicU64,
     pub payload_bytes: AtomicU64,
+    pub receiver_enqueued: AtomicU64,
+    pub receiver_dropped: AtomicU64,
     /// Tasks pushed but not yet fully processed (drain watches this reach zero).
     pub in_flight: AtomicU64,
 }
@@ -145,6 +143,12 @@ struct PairSummary {
     /// Attributes quenched on this pair so far (also gates the one
     /// `MessageQuenched` record per pair in summarised clone-each mode).
     quenched: u64,
+    /// Deliveries of this pair shed by drop-oldest mailbox overflow, counted per
+    /// message type (summarised mode only — full mode records each shed individually
+    /// instead), folded into one `DeliveryDropped` record per `(pair, type)` at
+    /// shutdown. A `BTreeMap` so the shutdown records come out in a deterministic
+    /// order (reproducible audit chains).
+    dropped: std::collections::BTreeMap<String, u64>,
     first_millis: u64,
     last_millis: u64,
 }
@@ -161,6 +165,21 @@ struct BatchCounters {
     ac_cache_misses: u64,
     quenched: u64,
     payload_bytes: u64,
+    receiver_enqueued: u64,
+    receiver_dropped: u64,
+}
+
+/// A mailbox hand-off prepared under the directory read lock but performed only
+/// after it is released: a Block-policy push may park this worker until the consumer
+/// drains, and parking while holding the directory lock would wedge every
+/// control-plane write — including the `deregister`/handle-drop that is supposed to
+/// release the mailbox.
+struct PendingHandOff {
+    mailbox: Arc<crate::subscriber::Mailbox>,
+    from: Arc<str>,
+    to: Arc<str>,
+    at_millis: u64,
+    item: ReceivedMessage,
 }
 
 /// The worker-private enforcement state threaded through delivery processing.
@@ -203,6 +222,7 @@ pub(crate) fn run_worker(
         summaries: HashMap::new(),
     };
     let mut batch: Vec<ShardTask> = Vec::with_capacity(POP_BATCH);
+    let mut pending: Vec<PendingHandOff> = Vec::new();
 
     let shard = &shared.shards[index];
     let mut shutdown = false;
@@ -212,7 +232,10 @@ pub(crate) fn run_worker(
         let mut local = BatchCounters::default();
         {
             // One directory read-lock per batch; workers never block a publisher's
-            // blocked push while holding it (publishers push outside the lock too).
+            // blocked push while holding it (publishers push outside the lock too),
+            // and mailbox hand-offs — which may park this worker under the Block
+            // overflow policy — are collected here and performed after the lock is
+            // released, so a full mailbox never wedges control-plane writers.
             let directory = if batch.iter().any(|t| matches!(t, ShardTask::Deliver { .. })) {
                 Some(shared.directory.read())
             } else {
@@ -243,6 +266,7 @@ pub(crate) fn run_worker(
                             &config,
                             &mut state,
                             &mut local,
+                            &mut pending,
                             from,
                             to,
                             at_millis,
@@ -263,6 +287,14 @@ pub(crate) fn run_worker(
                 }
             }
         }
+        // Directory lock released: hand enforced deliveries to their mailboxes. A
+        // Block-policy push may park here until the consumer drains (or the mailbox
+        // closes) — `in_flight` is still held, so `drain`/`publish` observe the
+        // backpressure, while `deregister`/`set_context` remain free to run (and to
+        // close the mailbox, which unparks us).
+        for hand_off in pending.drain(..) {
+            complete_hand_off(&config, &mut state, &mut local, hand_off);
+        }
         let counters = &shard.counters;
         counters.delivered.fetch_add(local.delivered, Ordering::Relaxed);
         counters.denied.fetch_add(local.denied, Ordering::Relaxed);
@@ -273,25 +305,44 @@ pub(crate) fn run_worker(
         counters.ac_cache_misses.fetch_add(local.ac_cache_misses, Ordering::Relaxed);
         counters.quenched.fetch_add(local.quenched, Ordering::Relaxed);
         counters.payload_bytes.fetch_add(local.payload_bytes, Ordering::Relaxed);
+        counters.receiver_enqueued.fetch_add(local.receiver_enqueued, Ordering::Relaxed);
+        counters.receiver_dropped.fetch_add(local.receiver_dropped, Ordering::Relaxed);
         // Last: drain() may only observe zero once every effect above is visible.
         counters.in_flight.fetch_sub(processed, Ordering::SeqCst);
     }
 
-    // Emit one FlowSummary per pair (deterministic order for reproducible chains).
+    // Emit one FlowSummary per pair (deterministic order for reproducible chains),
+    // plus — in summarised mode, where sheds are not recorded individually — one
+    // DeliveryDropped total per (pair, message type) that shed mailbox deliveries,
+    // so every shed is evidenced exactly once, against its own type, in either
+    // audit mode.
     let mut pairs: Vec<(PairKey, PairSummary)> = state.summaries.into_iter().collect();
     pairs.sort_by(|a, b| a.0.cmp(&b.0));
     for ((from, to), summary) in pairs {
-        state.appender.append(
-            AuditEvent::FlowSummary {
-                source: from.to_string(),
-                destination: to.to_string(),
-                allowed: summary.allowed,
-                denied: summary.denied,
-                window_start_millis: summary.first_millis,
-                window_end_millis: summary.last_millis,
-            },
-            summary.last_millis,
-        );
+        if summary.allowed + summary.denied > 0 {
+            state.appender.append(
+                AuditEvent::FlowSummary {
+                    source: from.to_string(),
+                    destination: to.to_string(),
+                    allowed: summary.allowed,
+                    denied: summary.denied,
+                    window_start_millis: summary.first_millis,
+                    window_end_millis: summary.last_millis,
+                },
+                summary.last_millis,
+            );
+        }
+        for (message_type, dropped) in summary.dropped {
+            state.appender.append(
+                AuditEvent::DeliveryDropped {
+                    source: from.to_string(),
+                    destination: to.to_string(),
+                    message_type,
+                    dropped,
+                },
+                summary.last_millis,
+            );
+        }
     }
     ShardReport {
         audit: state.appender.into_log(),
@@ -323,6 +374,7 @@ fn process_delivery(
     config: &DataplaneConfig,
     state: &mut WorkerState,
     local: &mut BatchCounters,
+    pending: &mut Vec<PendingHandOff>,
     from: Arc<str>,
     to: Arc<str>,
     at_millis: u64,
@@ -455,8 +507,9 @@ fn process_delivery(
     let mut quenched_now = 0u64;
     if !denied {
         if let Some(body) = body {
-            quenched_now =
-                deliver_payload(directory, config, state, local, &from, &to, dst, at_millis, body);
+            quenched_now = deliver_payload(
+                directory, config, state, local, pending, &from, &to, dst, at_millis, body,
+            );
         }
     }
 
@@ -483,12 +536,17 @@ fn deliver_payload(
     config: &DataplaneConfig,
     state: &mut WorkerState,
     local: &mut BatchCounters,
+    pending: &mut Vec<PendingHandOff>,
     from: &Arc<str>,
     to: &Arc<str>,
     dst: &Endpoint,
     at_millis: u64,
     body: DeliveryBody,
 ) -> u64 {
+    // A closed mailbox is skipped with one atomic load — torn-down consumers cost the
+    // hot path nothing beyond that check. The push itself happens after the batch
+    // releases the directory lock (see `PendingHandOff`).
+    let mailbox = dst.mailbox.as_ref().filter(|mailbox| !mailbox.is_closed());
     match body {
         DeliveryBody::Frozen(message) => {
             // The quench mask is a pure function of (schema, destination secrecy):
@@ -521,15 +579,33 @@ fn deliver_payload(
                 );
             }
             local.quenched += quenched;
-            local.payload_bytes += message.payload_byte_len() as u64;
+            // Effective bytes moved: quenched attributes' spans never reach a receiver.
+            local.payload_bytes += message.byte_len_after_quench(mask) as u64;
             if config.retain_deliveries > 0 {
                 // Observation affordance, off the hot path: materialise the quenched
                 // view only when retention is enabled.
                 push_inbox(dst, config.retain_deliveries, message.quench(mask).thaw());
             }
+            if let Some(mailbox) = mailbox {
+                // The zero-copy hand-off: an untouched message moves the fan-out's
+                // `Arc` straight into the mailbox; quenching shares every buffer and
+                // only re-wraps the cleared presence mask.
+                let item = if mask == 0 {
+                    ReceivedMessage::Frozen(message)
+                } else {
+                    ReceivedMessage::Frozen(Arc::new(message.quench(mask)))
+                };
+                pending.push(PendingHandOff {
+                    mailbox: Arc::clone(mailbox),
+                    from: Arc::clone(from),
+                    to: Arc::clone(to),
+                    at_millis,
+                    item,
+                });
+            }
             quenched
         }
-        DeliveryBody::Cloned { message, byte_len } => {
+        DeliveryBody::Cloned(message) => {
             // The naive baseline: recompute the quench mask per delivery (no cache)
             // and produce a quenched deep clone, exactly as the synchronous bus does.
             let mut names: Vec<&str> = Vec::new();
@@ -555,12 +631,73 @@ fn deliver_payload(
                 );
             }
             local.quenched += quenched;
-            local.payload_bytes += u64::from(byte_len);
+            local.payload_bytes += encoded_payload_len(&delivered) as u64;
+            let mut delivered = Some(delivered);
             if config.retain_deliveries > 0 {
-                push_inbox(dst, config.retain_deliveries, delivered);
+                let retained = if mailbox.is_some() {
+                    delivered.as_ref().expect("not yet taken").clone()
+                } else {
+                    delivered.take().expect("not yet taken")
+                };
+                push_inbox(dst, config.retain_deliveries, retained);
+            }
+            if let Some(mailbox) = mailbox {
+                let body = delivered.take().expect("kept for the mailbox");
+                pending.push(PendingHandOff {
+                    mailbox: Arc::clone(mailbox),
+                    from: Arc::clone(from),
+                    to: Arc::clone(to),
+                    at_millis,
+                    item: ReceivedMessage::Thawed(Box::new(body)),
+                });
             }
             quenched
         }
+    }
+}
+
+/// Performs a deferred mailbox hand-off (the directory lock is no longer held) and
+/// evidences drop-oldest sheds, attributing the shed (oldest) delivery to *its own*
+/// source and message type. The two audit modes partition the evidence — full mode
+/// records each shed individually as it happens; summarised mode folds sheds into one
+/// per-pair `DeliveryDropped` total emitted at shutdown — so summing `dropped` over
+/// all records counts every shed delivery exactly once in either mode.
+fn complete_hand_off(
+    config: &DataplaneConfig,
+    state: &mut WorkerState,
+    local: &mut BatchCounters,
+    hand_off: PendingHandOff,
+) {
+    let PendingHandOff { mailbox, from, to, at_millis, item } = hand_off;
+    match mailbox.push(item) {
+        MailboxPush::Enqueued => local.receiver_enqueued += 1,
+        MailboxPush::DroppedOldest(shed) => {
+            local.receiver_enqueued += 1;
+            local.receiver_dropped += 1;
+            let source: Arc<str> =
+                if shed.sender() == &*from { from } else { Arc::from(shed.sender()) };
+            match config.audit_detail {
+                AuditDetail::Full => {
+                    state.appender.append(
+                        AuditEvent::DeliveryDropped {
+                            source: source.to_string(),
+                            destination: to.to_string(),
+                            message_type: shed.message_type().to_string(),
+                            dropped: 1,
+                        },
+                        at_millis,
+                    );
+                }
+                AuditDetail::Summarised => {
+                    let summary = state.summaries.entry((source, to)).or_insert_with(|| {
+                        PairSummary { first_millis: at_millis, ..PairSummary::default() }
+                    });
+                    *summary.dropped.entry(shed.message_type().to_string()).or_default() += 1;
+                    summary.last_millis = summary.last_millis.max(at_millis);
+                }
+            }
+        }
+        MailboxPush::Closed => {}
     }
 }
 

@@ -1,0 +1,555 @@
+//! Consumer-facing streaming receivers: bounded per-subscriber mailboxes and the
+//! [`Subscriber`] handle that drains them.
+//!
+//! The paper's guarantee is about what a subscriber *ultimately observes* — messages
+//! admitted, IFC-checked and quenched per its context. The dataplane's shards enforce
+//! per delivery; a bounded per-endpoint mailbox is the hand-off point where an
+//! enforced (post-quench) body becomes visible to application code. In zero-copy mode the hand-off is an
+//! `Arc<FrozenMessage>` — refcount bumps, never a payload copy — and in clone-each mode
+//! it is the per-subscriber deep clone the baseline already paid for.
+//!
+//! Mailboxes are bounded. What happens on overflow is the subscriber's
+//! [`OverflowPolicy`]:
+//!
+//! * [`OverflowPolicy::Block`] — the delivering shard waits for mailbox space. The
+//!   shard's ingress queue then fills behind it, which blocks publishers: end-to-end
+//!   backpressure from a slow consumer to its producers, no message ever shed.
+//! * [`OverflowPolicy::DropOldest`] — the oldest queued message is shed to admit the
+//!   new one, the drop is counted ([`Subscriber::dropped`], `DataplaneStats`), and the
+//!   shed delivery is evidenced as a
+//!   [`legaliot_audit::AuditEvent::DeliveryDropped`] record, so the audit trail still
+//!   accounts for every admitted-but-unobserved message.
+//!
+//! Closing is cooperative and never blocks the hot path: dropping (or
+//! [`Subscriber::close`]-ing) the handle marks the mailbox closed, and shards simply
+//! stop enqueueing to it — a flag check under the mailbox's own lock, no directory
+//! write. A closed mailbox still hands out what it already holds; `recv` reports
+//! [`RecvError::Disconnected`] only once the backlog is drained.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, PoisonError};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use legaliot_middleware::{AttributeValue, FrozenMessage, Message, MessageType};
+
+/// What a shard does when a delivery lands on a full mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Wait for the consumer to make space. The delivering shard stalls, its ingress
+    /// queue fills, and publishers block in turn — lossless end-to-end backpressure.
+    #[default]
+    Block,
+    /// Shed the oldest queued message to admit the new one. Every shed delivery is
+    /// counted and evidenced as a `DeliveryDropped` audit record.
+    DropOldest,
+}
+
+/// A message as a subscriber observes it: the post-quench body in whichever
+/// representation the dataplane carried it.
+#[derive(Debug, Clone)]
+pub enum ReceivedMessage {
+    /// Zero-copy delivery: shares the publisher-frozen payload buffer and name table
+    /// (quenching only cleared presence bits). Cloning this is refcount bumps.
+    Frozen(Arc<FrozenMessage>),
+    /// Clone-each delivery: the per-subscriber deep clone the baseline mode makes.
+    Thawed(Box<Message>),
+}
+
+impl ReceivedMessage {
+    /// The message's type.
+    pub fn message_type(&self) -> &MessageType {
+        match self {
+            ReceivedMessage::Frozen(m) => m.message_type(),
+            ReceivedMessage::Thawed(m) => &m.message_type,
+        }
+    }
+
+    /// The publishing endpoint's name.
+    pub fn sender(&self) -> &str {
+        match self {
+            ReceivedMessage::Frozen(m) => m.sender(),
+            ReceivedMessage::Thawed(m) => &m.sender,
+        }
+    }
+
+    /// Simulated publish time (ms).
+    pub fn sent_at_millis(&self) -> u64 {
+        match self {
+            ReceivedMessage::Frozen(m) => m.sent_at_millis(),
+            ReceivedMessage::Thawed(m) => m.sent_at_millis,
+        }
+    }
+
+    /// A present attribute's value, decoding on the fly in the frozen representation.
+    /// Quenched attributes are absent in both representations.
+    pub fn get(&self, name: &str) -> Option<AttributeValue> {
+        match self {
+            ReceivedMessage::Frozen(m) => m.get(name),
+            ReceivedMessage::Thawed(m) => m.attributes.get(name).cloned(),
+        }
+    }
+
+    /// Number of attributes the subscriber can observe (post-quench).
+    pub fn attribute_count(&self) -> usize {
+        match self {
+            ReceivedMessage::Frozen(m) => m.attribute_count(),
+            ReceivedMessage::Thawed(m) => m.attributes.len(),
+        }
+    }
+
+    /// The shared frozen form, when this was a zero-copy delivery.
+    pub fn frozen(&self) -> Option<&Arc<FrozenMessage>> {
+        match self {
+            ReceivedMessage::Frozen(m) => Some(m),
+            ReceivedMessage::Thawed(_) => None,
+        }
+    }
+
+    /// The mutable [`Message`] form (decodes the frozen representation; moves out of
+    /// the thawed one).
+    pub fn thaw(self) -> Message {
+        match self {
+            ReceivedMessage::Frozen(m) => m.thaw(),
+            ReceivedMessage::Thawed(m) => *m,
+        }
+    }
+}
+
+/// Why [`Subscriber::recv`] returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The mailbox is closed (handle closed, endpoint deregistered, or the dataplane
+    /// shut down) and its backlog is fully drained: no message will ever arrive.
+    Disconnected,
+}
+
+/// Why [`Subscriber::try_recv`] returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is queued right now (more may still arrive).
+    Empty,
+    /// As [`RecvError::Disconnected`]: closed and drained.
+    Disconnected,
+}
+
+/// Why [`Subscriber::recv_timeout`] returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the mailbox still empty but open.
+    Timeout,
+    /// As [`RecvError::Disconnected`]: closed and drained.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on a closed and drained mailbox")
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("mailbox is empty"),
+            TryRecvError::Disconnected => f.write_str("receiving on a closed and drained mailbox"),
+        }
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting for a message"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on a closed and drained mailbox")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+impl std::error::Error for TryRecvError {}
+impl std::error::Error for RecvTimeoutError {}
+
+/// Outcome of a shard's attempt to enqueue a delivery (engine-internal).
+#[derive(Debug)]
+pub(crate) enum MailboxPush {
+    /// The delivery is queued for the consumer.
+    Enqueued,
+    /// The delivery is queued; the returned oldest queued message was shed to make
+    /// room (the caller audits it against its own source and message type).
+    DroppedOldest(ReceivedMessage),
+    /// The mailbox is closed; the delivery was discarded without queueing.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct MailboxInner {
+    queue: VecDeque<ReceivedMessage>,
+    /// Deliveries shed by drop-oldest overflow since the mailbox opened.
+    dropped: u64,
+}
+
+/// The bounded hand-off queue between a subscriber's shard and its consumer.
+///
+/// Shards push under the engine's directory *read* lock; consumers pop through a
+/// [`Subscriber`] without touching the directory at all, so a draining consumer can
+/// never deadlock against the control plane. The `closed` flag is additionally
+/// mirrored in an atomic so the shard's common case (open mailbox) and the
+/// engine's teardown broadcast stay cheap.
+#[derive(Debug)]
+pub(crate) struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: OverflowPolicy,
+    closed: AtomicBool,
+}
+
+impl Mailbox {
+    pub(crate) fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        Mailbox {
+            inner: Mutex::new(MailboxInner::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Marks the mailbox closed and wakes every waiter (consumers observe
+    /// `Disconnected` once drained; a shard blocked on `push` discards and moves on).
+    pub(crate) fn close(&self) {
+        // The store happens under the lock so close linearizes against `push`: a
+        // push holding the lock either completes before the close (a delivery that
+        // legitimately arrived first) or re-checks the flag under the lock and
+        // discards. Waiters either see `closed` before parking or are woken by the
+        // notifies below.
+        let guard = self.inner.lock();
+        self.closed.store(true, Ordering::Release);
+        drop(guard);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Enqueues a delivery per the overflow policy. Never blocks under
+    /// [`OverflowPolicy::DropOldest`]; under [`OverflowPolicy::Block`] waits until the
+    /// consumer makes space or the mailbox closes.
+    pub(crate) fn push(&self, item: ReceivedMessage) -> MailboxPush {
+        // Cheap lock-free fast path for long-closed mailboxes; the authoritative
+        // check is re-done under the lock, where it linearizes against `close`.
+        if self.is_closed() {
+            return MailboxPush::Closed;
+        }
+        let mut inner = self.inner.lock();
+        if self.is_closed() {
+            return MailboxPush::Closed;
+        }
+        while inner.queue.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::DropOldest => {
+                    let shed = inner.queue.pop_front().expect("full implies non-empty");
+                    inner.dropped += 1;
+                    inner.queue.push_back(item);
+                    drop(inner);
+                    self.not_empty.notify_one();
+                    return MailboxPush::DroppedOldest(shed);
+                }
+                OverflowPolicy::Block => {
+                    inner = self.not_full.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                    if self.is_closed() {
+                        return MailboxPush::Closed;
+                    }
+                }
+            }
+        }
+        inner.queue.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        MailboxPush::Enqueued
+    }
+
+    fn pop(inner: &mut MailboxInner) -> Option<ReceivedMessage> {
+        inner.queue.pop_front()
+    }
+
+    fn recv(&self) -> Result<ReceivedMessage, RecvError> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = Self::pop(&mut inner) {
+                drop(inner);
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if self.is_closed() {
+                return Err(RecvError::Disconnected);
+            }
+            inner = self.not_empty.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn try_recv(&self) -> Result<ReceivedMessage, TryRecvError> {
+        let mut inner = self.inner.lock();
+        match Self::pop(&mut inner) {
+            Some(item) => {
+                drop(inner);
+                self.not_full.notify_one();
+                Ok(item)
+            }
+            None if self.is_closed() => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<ReceivedMessage, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = Self::pop(&mut inner) {
+                drop(inner);
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if self.is_closed() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    fn drain(&self) -> Vec<ReceivedMessage> {
+        let mut inner = self.inner.lock();
+        let items: Vec<ReceivedMessage> = inner.queue.drain(..).collect();
+        drop(inner);
+        if !items.is_empty() {
+            self.not_full.notify_all();
+        }
+        items
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+/// A consumer's handle on one endpoint's mailbox, opened with
+/// [`crate::Dataplane::open_subscriber`] (or
+/// [`crate::Dataplane::subscribe_receiver`]).
+///
+/// The handle is the mailbox's lifetime: dropping it (or calling
+/// [`Subscriber::close`]) closes the mailbox, after which shards stop enqueueing and —
+/// once the backlog is drained — every receive reports `Disconnected`. The handle
+/// stays usable after the dataplane itself shuts down: whatever was enqueued before
+/// shutdown is still received, then `Disconnected`.
+#[derive(Debug)]
+pub struct Subscriber {
+    name: Arc<str>,
+    mailbox: Arc<Mailbox>,
+}
+
+impl Subscriber {
+    pub(crate) fn new(name: Arc<str>, mailbox: Arc<Mailbox>) -> Self {
+        Subscriber { name, mailbox }
+    }
+
+    /// The endpoint this handle receives for.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the next enforced delivery arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Disconnected`] once the mailbox is closed *and* drained.
+    pub fn recv(&self) -> Result<ReceivedMessage, RecvError> {
+        self.mailbox.recv()
+    }
+
+    /// Returns the next delivery without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued;
+    /// [`TryRecvError::Disconnected`] once closed and drained.
+    pub fn try_recv(&self) -> Result<ReceivedMessage, TryRecvError> {
+        self.mailbox.try_recv()
+    }
+
+    /// Blocks for at most `timeout` for the next delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the timeout elapses;
+    /// [`RecvTimeoutError::Disconnected`] once closed and drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<ReceivedMessage, RecvTimeoutError> {
+        self.mailbox.recv_timeout(timeout)
+    }
+
+    /// Takes everything currently queued in one batch, without blocking (possibly
+    /// empty). Frees the whole mailbox capacity at once, so a periodic drain loop is
+    /// the cheapest way to consume under [`OverflowPolicy::Block`].
+    pub fn drain(&self) -> Vec<ReceivedMessage> {
+        self.mailbox.drain()
+    }
+
+    /// Number of deliveries currently queued.
+    pub fn len(&self) -> usize {
+        self.mailbox.len()
+    }
+
+    /// Whether the mailbox is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deliveries shed by [`OverflowPolicy::DropOldest`] since this handle opened
+    /// (each also counted in `DataplaneStats::receiver_dropped` and evidenced as a
+    /// `DeliveryDropped` audit record).
+    pub fn dropped(&self) -> u64 {
+        self.mailbox.dropped()
+    }
+
+    /// Whether the mailbox is closed (shards no longer enqueue; queued backlog, if
+    /// any, is still receivable).
+    pub fn is_closed(&self) -> bool {
+        self.mailbox.is_closed()
+    }
+
+    /// Closes the mailbox: shards stop enqueueing immediately; receives keep
+    /// returning the backlog, then `Disconnected`. Idempotent; also run by `Drop`.
+    pub fn close(&self) {
+        self.mailbox.close();
+    }
+}
+
+impl Drop for Subscriber {
+    fn drop(&mut self) {
+        self.mailbox.close();
+        // This handle was the mailbox's only consumer: nothing can ever receive the
+        // backlog, so release it now instead of pinning up to `capacity` payload
+        // buffers in the endpoint directory until deregistration. (An explicit
+        // `close()` keeps the backlog readable through the still-live handle; only
+        // the handle's death discards it.)
+        self.mailbox.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn item(tag: u64) -> ReceivedMessage {
+        use legaliot_ifc::SecurityContext;
+        let mut message = Message::new("t", SecurityContext::public());
+        message.sent_at_millis = tag;
+        ReceivedMessage::Thawed(Box::new(message))
+    }
+
+    #[test]
+    fn drop_oldest_sheds_and_counts() {
+        let mailbox = Mailbox::new(2, OverflowPolicy::DropOldest);
+        assert!(matches!(mailbox.push(item(1)), MailboxPush::Enqueued));
+        assert!(matches!(mailbox.push(item(2)), MailboxPush::Enqueued));
+        // The shed message is returned so the caller can audit it.
+        match mailbox.push(item(3)) {
+            MailboxPush::DroppedOldest(shed) => assert_eq!(shed.sent_at_millis(), 1),
+            other => panic!("expected DroppedOldest, got {other:?}"),
+        }
+        assert_eq!(mailbox.dropped(), 1);
+        let received: Vec<u64> = mailbox.drain().into_iter().map(|m| m.sent_at_millis()).collect();
+        assert_eq!(received, vec![2, 3]);
+    }
+
+    #[test]
+    fn block_policy_waits_for_the_consumer() {
+        let mailbox = Arc::new(Mailbox::new(1, OverflowPolicy::Block));
+        assert!(matches!(mailbox.push(item(1)), MailboxPush::Enqueued));
+        let producer = {
+            let mailbox = Arc::clone(&mailbox);
+            thread::spawn(move || mailbox.push(item(2)))
+        };
+        // The producer is parked on the full mailbox until this recv frees a slot.
+        let first = mailbox.recv().unwrap();
+        assert_eq!(first.sent_at_millis(), 1);
+        assert!(matches!(producer.join().unwrap(), MailboxPush::Enqueued));
+        assert_eq!(mailbox.recv().unwrap().sent_at_millis(), 2);
+        assert_eq!(mailbox.dropped(), 0);
+    }
+
+    #[test]
+    fn close_unblocks_producers_and_consumers() {
+        let mailbox = Arc::new(Mailbox::new(1, OverflowPolicy::Block));
+        mailbox.push(item(1));
+        let blocked_producer = {
+            let mailbox = Arc::clone(&mailbox);
+            thread::spawn(move || mailbox.push(item(2)))
+        };
+        let blocked_consumer = {
+            let mailbox = Arc::new(Mailbox::new(1, OverflowPolicy::Block));
+            let handle = Arc::clone(&mailbox);
+            let consumer = thread::spawn(move || handle.recv());
+            thread::sleep(Duration::from_millis(20));
+            mailbox.close();
+            consumer
+        };
+        thread::sleep(Duration::from_millis(20));
+        mailbox.close();
+        assert!(matches!(blocked_producer.join().unwrap(), MailboxPush::Closed));
+        assert!(matches!(blocked_consumer.join().unwrap(), Err(RecvError::Disconnected)));
+        // The backlog enqueued before the close is still received, then Disconnected.
+        assert_eq!(mailbox.recv().unwrap().sent_at_millis(), 1);
+        assert_eq!(mailbox.recv().unwrap_err(), RecvError::Disconnected);
+        assert_eq!(mailbox.try_recv().unwrap_err(), TryRecvError::Disconnected);
+        assert!(matches!(mailbox.push(item(9)), MailboxPush::Closed));
+    }
+
+    #[test]
+    fn try_recv_and_timeout_report_empty_vs_disconnected() {
+        let mailbox = Mailbox::new(4, OverflowPolicy::Block);
+        assert_eq!(mailbox.try_recv().unwrap_err(), TryRecvError::Empty);
+        assert_eq!(
+            mailbox.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        mailbox.push(item(5));
+        assert_eq!(mailbox.recv_timeout(Duration::from_millis(10)).unwrap().sent_at_millis(), 5);
+        mailbox.close();
+        assert_eq!(
+            mailbox.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RecvError::Disconnected.to_string().contains("closed"));
+        assert!(TryRecvError::Empty.to_string().contains("empty"));
+        assert!(TryRecvError::Disconnected.to_string().contains("closed"));
+        assert!(RecvTimeoutError::Timeout.to_string().contains("timed out"));
+        assert!(RecvTimeoutError::Disconnected.to_string().contains("closed"));
+    }
+}

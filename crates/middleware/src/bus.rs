@@ -7,7 +7,7 @@
 //! policy … This is monitored throughout the connection's lifetime, where an entity
 //! changing its security context triggers re-evaluation."
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -71,6 +71,20 @@ impl fmt::Display for MiddlewareError {
 
 impl std::error::Error for MiddlewareError {}
 
+/// What [`Middleware::send`] does when the destination's bounded mailbox is full —
+/// the synchronous counterpart of the dataplane's subscriber overflow policy, so the
+/// single-threaded path is testable the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MailboxOverflow {
+    /// Refuse the send with [`MiddlewareError::QueueFull`]; the sender retries after
+    /// the receiver drains (lossless backpressure).
+    #[default]
+    Backpressure,
+    /// Shed the oldest queued message to admit the new one, evidencing the shed
+    /// delivery as a [`legaliot_audit::AuditEvent::DeliveryDropped`] record.
+    DropOldest,
+}
+
 /// The state of a channel between two components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ChannelState {
@@ -132,8 +146,11 @@ pub struct Middleware {
     access: AccessRegime,
     tag_registry: TagRegistry,
     channels: BTreeMap<(String, String), ChannelState>,
-    mailboxes: BTreeMap<String, Vec<Message>>,
+    mailboxes: BTreeMap<String, VecDeque<Message>>,
     mailbox_capacity: Option<usize>,
+    mailbox_overflow: MailboxOverflow,
+    /// Deliveries shed per component under [`MailboxOverflow::DropOldest`].
+    dropped_deliveries: BTreeMap<String, u64>,
     notifications: Vec<(String, String)>,
     actuations: Vec<(String, String)>,
     audit: AuditLog,
@@ -149,6 +166,8 @@ impl Middleware {
             channels: BTreeMap::new(),
             mailboxes: BTreeMap::new(),
             mailbox_capacity: None,
+            mailbox_overflow: MailboxOverflow::default(),
+            dropped_deliveries: BTreeMap::new(),
             notifications: Vec::new(),
             actuations: Vec::new(),
             audit: AuditLog::new(name),
@@ -190,11 +209,25 @@ impl Middleware {
         &self.audit
     }
 
-    /// Bounds every component mailbox to `capacity` undelivered messages; further sends
-    /// fail with [`MiddlewareError::QueueFull`] until the receiver drains. `None`
-    /// (the default) leaves mailboxes unbounded.
+    /// Bounds every component mailbox to `capacity` undelivered messages (clamped to
+    /// ≥ 1, as the dataplane's `mailbox_capacity` is); what a further send does is
+    /// the configured [`MailboxOverflow`] policy ([`Self::set_mailbox_overflow`]).
+    /// `None` (the default) leaves mailboxes unbounded.
     pub fn set_mailbox_capacity(&mut self, capacity: Option<usize>) {
-        self.mailbox_capacity = capacity;
+        self.mailbox_capacity = capacity.map(|capacity| capacity.max(1));
+    }
+
+    /// Sets the full-mailbox policy: refuse the send (backpressure, the default) or
+    /// shed the oldest queued message with audited `DeliveryDropped` evidence.
+    pub fn set_mailbox_overflow(&mut self, overflow: MailboxOverflow) {
+        self.mailbox_overflow = overflow;
+    }
+
+    /// Deliveries shed from `component`'s mailbox under
+    /// [`MailboxOverflow::DropOldest`] — the bus counterpart of
+    /// `legaliot_dataplane`'s `Subscriber::dropped`.
+    pub fn dropped_deliveries(&self, component: &str) -> u64 {
+        self.dropped_deliveries.get(component).copied().unwrap_or(0)
     }
 
     /// Notifications sent to principals (recipient, message), in order.
@@ -406,10 +439,12 @@ impl Middleware {
 
         // Backpressure is checked before the flow is audited: a QueueFull error must
         // not leave an allowed-with-data-item FlowChecked record for a transfer that
-        // never happened (audit evidence would disagree with the mailbox).
+        // never happened (audit evidence would disagree with the mailbox). Under
+        // drop-oldest the new message *is* delivered, so the overflow is handled at
+        // enqueue time instead (the shed delivery gets its own evidence record).
         if let Some(capacity) = self.mailbox_capacity {
-            let occupied = self.mailboxes.get(to).map_or(0, Vec::len);
-            if occupied >= capacity {
+            let occupied = self.mailboxes.get(to).map_or(0, VecDeque::len);
+            if occupied >= capacity && self.mailbox_overflow == MailboxOverflow::Backpressure {
                 return Err(MiddlewareError::QueueFull { component: to.to_string(), capacity });
             }
         }
@@ -456,7 +491,26 @@ impl Middleware {
         delivered.sender = from.to_string();
         delivered.sent_at_millis = now.as_millis();
         delivered.context = effective_context;
-        self.mailboxes.entry(to.to_string()).or_default().push(delivered);
+        let mailbox = self.mailboxes.entry(to.to_string()).or_default();
+        if let Some(capacity) = self.mailbox_capacity {
+            // Drop-oldest overflow (the backpressure case already returned above):
+            // shed until the new message fits, evidencing each shed delivery against
+            // its own sender and type.
+            while mailbox.len() >= capacity {
+                let shed = mailbox.pop_front().expect("full implies non-empty");
+                *self.dropped_deliveries.entry(to.to_string()).or_default() += 1;
+                self.audit.record(
+                    AuditEvent::DeliveryDropped {
+                        source: shed.sender.clone(),
+                        destination: to.to_string(),
+                        message_type: shed.message_type.to_string(),
+                        dropped: 1,
+                    },
+                    now.as_millis(),
+                );
+            }
+        }
+        mailbox.push_back(delivered);
         Ok(DeliveryOutcome::Delivered {
             quenched_attributes: quenched.into_iter().map(String::from).collect(),
         })
@@ -464,7 +518,17 @@ impl Middleware {
 
     /// Drains the mailbox of a component.
     pub fn receive(&mut self, component: &str) -> Vec<Message> {
-        self.mailboxes.get_mut(component).map(std::mem::take).unwrap_or_default()
+        self.mailboxes
+            .get_mut(component)
+            .map(|mailbox| mailbox.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Removes and returns the oldest undelivered message of a component, or `None`
+    /// when the mailbox is empty — the synchronous counterpart of the dataplane
+    /// `Subscriber::try_recv`, so receive loops port between the two surfaces.
+    pub fn try_recv(&mut self, component: &str) -> Option<Message> {
+        self.mailboxes.get_mut(component).and_then(VecDeque::pop_front)
     }
 
     /// Handles a third-party reconfiguration control message (Fig. 8): authorises it
@@ -1018,6 +1082,54 @@ mod tests {
             .send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(5))
             .unwrap()
             .is_delivered());
+    }
+
+    #[test]
+    fn drop_oldest_overflow_sheds_with_evidence_and_try_recv_pops_in_order() {
+        let mut mw = home_monitoring();
+        mw.set_mailbox_capacity(Some(2));
+        mw.set_mailbox_overflow(MailboxOverflow::DropOldest);
+        mw.establish_channel("ann-sensor", "ann-analyser", &snap(), Timestamp(1)).unwrap();
+        let msg = Message::new("sensor-reading", SecurityContext::public());
+        // Five sends into a 2-slot mailbox: every send is delivered (never QueueFull),
+        // the three oldest are shed.
+        for t in 2..7 {
+            assert!(mw
+                .send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(t))
+                .unwrap()
+                .is_delivered());
+        }
+        assert_eq!(mw.dropped_deliveries("ann-analyser"), 3);
+        let dropped_records: u64 = mw
+            .audit()
+            .of_kind(legaliot_audit::AuditEventKind::DeliveryDropped)
+            .map(|r| match &r.event {
+                AuditEvent::DeliveryDropped { dropped, source, .. } => {
+                    assert_eq!(source, "ann-sensor");
+                    *dropped
+                }
+                _ => unreachable!(),
+            })
+            .sum();
+        assert_eq!(dropped_records, 3);
+        // The two newest survive, received oldest-first via the parity `try_recv`.
+        assert_eq!(mw.try_recv("ann-analyser").unwrap().sent_at_millis, 5);
+        assert_eq!(mw.try_recv("ann-analyser").unwrap().sent_at_millis, 6);
+        assert!(mw.try_recv("ann-analyser").is_none());
+        assert!(mw.try_recv("ghost").is_none());
+
+        // A zero capacity clamps to 1 under *both* policies (as on the dataplane):
+        // drop-oldest keeps exactly one message, backpressure reports capacity 1.
+        mw.set_mailbox_capacity(Some(0));
+        assert!(mw
+            .send("ann-sensor", "ann-analyser", msg.clone(), &snap(), Timestamp(7))
+            .unwrap()
+            .is_delivered());
+        mw.set_mailbox_overflow(MailboxOverflow::Backpressure);
+        assert_eq!(
+            mw.send("ann-sensor", "ann-analyser", msg, &snap(), Timestamp(8)),
+            Err(MiddlewareError::QueueFull { component: "ann-analyser".into(), capacity: 1 })
+        );
     }
 
     #[test]

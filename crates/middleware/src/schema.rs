@@ -463,6 +463,18 @@ impl Payload {
         self.buffer.len()
     }
 
+    /// The whole encoded buffer. Clones of a payload (and quenched forms of its
+    /// message) share this allocation, so pointer identity of the returned slice
+    /// witnesses that no copy happened.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buffer
+    }
+
+    /// Encoded size in bytes of the attribute at `index`.
+    fn span_len(&self, index: usize) -> usize {
+        (self.offsets[index + 1] - self.offsets[index]) as usize
+    }
+
     fn decode(&self, index: usize, kind: AttributeKind) -> AttributeValue {
         let start = self.offsets[index] as usize;
         let end = self.offsets[index + 1] as usize;
@@ -582,6 +594,35 @@ impl FrozenMessage {
     /// Encoded payload size in bytes (shared across clones and quenched forms).
     pub fn payload_byte_len(&self) -> usize {
         self.payload.byte_len()
+    }
+
+    /// The shared encoded payload (for byte-level inspection; the buffer is common to
+    /// every clone and quenched form of this message).
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// Encoded size in bytes of the attributes still *present* — the effective bytes a
+    /// receiver observes, which shrinks as attributes are quenched.
+    pub fn present_byte_len(&self) -> usize {
+        self.masked_byte_len(self.present)
+    }
+
+    /// Encoded size in bytes of the attributes that would remain present after
+    /// quenching `mask` — post-quench bytes-moved accounting without materialising the
+    /// quenched form.
+    pub fn byte_len_after_quench(&self, mask: u64) -> usize {
+        self.masked_byte_len(self.present & !mask)
+    }
+
+    fn masked_byte_len(&self, mut present: u64) -> usize {
+        let mut total = 0;
+        while present != 0 {
+            let index = present.trailing_zeros() as usize;
+            present &= present - 1;
+            total += self.payload.span_len(index);
+        }
+        total
     }
 
     /// Decodes a present attribute by name.
@@ -794,6 +835,26 @@ mod tests {
             quenched.thaw().attributes,
             reading_message().quenched(["patient-name"]).attributes
         );
+    }
+
+    #[test]
+    fn quenching_shrinks_present_byte_len_but_shares_the_buffer() {
+        let schema = Arc::new(FrozenSchema::new(&reading_schema()).unwrap());
+        let frozen = FrozenMessage::freeze(&reading_message(), Arc::clone(&schema)).unwrap();
+        assert_eq!(frozen.present_byte_len(), frozen.payload_byte_len());
+        let mask = schema.quench_mask_for(&Label::from_names(["medical"]));
+        let quenched = frozen.quench(mask);
+        // `patient-name` is "Ann": 3 encoded bytes gone from the effective size...
+        assert_eq!(quenched.present_byte_len(), frozen.present_byte_len() - 3);
+        assert_eq!(frozen.byte_len_after_quench(mask), quenched.present_byte_len());
+        // ...and it agrees with re-encoding the thawed quenched message.
+        assert_eq!(quenched.present_byte_len(), encoded_payload_len(&quenched.thaw()));
+        // The underlying buffer is untouched and shared (zero-copy witness).
+        assert_eq!(quenched.payload_byte_len(), frozen.payload_byte_len());
+        assert!(std::ptr::eq(
+            frozen.payload().as_slice().as_ptr(),
+            quenched.payload().as_slice().as_ptr()
+        ));
     }
 
     #[test]

@@ -27,6 +27,10 @@ struct ConfigSpec {
     /// `true` drives `publish_message` (payload hot path), `false` drives the
     /// flow-only `publish`.
     payload: bool,
+    /// `true` opens a streaming [`Subscriber`](legaliot::dataplane::Subscriber) on
+    /// every subscribing endpoint and spawns a drain-loop consumer thread per
+    /// receiver, so delivered-vs-received throughput is measured end to end.
+    consumers: bool,
     config: DataplaneConfig,
 }
 
@@ -37,6 +41,7 @@ fn configurations() -> Vec<ConfigSpec> {
         ConfigSpec {
             label: "1 shard, uncached, full audit",
             payload: false,
+            consumers: false,
             config: DataplaneConfig {
                 shards: 1,
                 cache_decisions: false,
@@ -53,6 +58,7 @@ fn configurations() -> Vec<ConfigSpec> {
         ConfigSpec {
             label: "1 shard, cached, summarised",
             payload: false,
+            consumers: false,
             config: DataplaneConfig {
                 shards: 1,
                 cache_decisions: true,
@@ -65,6 +71,7 @@ fn configurations() -> Vec<ConfigSpec> {
         ConfigSpec {
             label: "4 shards, cached, summarised",
             payload: false,
+            consumers: false,
             config: DataplaneConfig {
                 shards: 4,
                 cache_decisions: true,
@@ -78,6 +85,7 @@ fn configurations() -> Vec<ConfigSpec> {
         ConfigSpec {
             label: "1 shard, payload clone-each, uncached",
             payload: true,
+            consumers: false,
             config: DataplaneConfig {
                 shards: 1,
                 payload_mode: PayloadMode::CloneEach,
@@ -93,6 +101,7 @@ fn configurations() -> Vec<ConfigSpec> {
         ConfigSpec {
             label: "1 shard, payload zero-copy, cached",
             payload: true,
+            consumers: false,
             config: DataplaneConfig {
                 shards: 1,
                 payload_mode: PayloadMode::ZeroCopy,
@@ -108,6 +117,7 @@ fn configurations() -> Vec<ConfigSpec> {
         ConfigSpec {
             label: "4 shards, payload zero-copy, cached",
             payload: true,
+            consumers: false,
             config: DataplaneConfig {
                 shards: 4,
                 payload_mode: PayloadMode::ZeroCopy,
@@ -116,6 +126,27 @@ fn configurations() -> Vec<ConfigSpec> {
                 audit_detail: AuditDetail::Summarised,
                 audit_batch: 1024,
                 audit_retention: Some(65_536),
+                ..DataplaneConfig::default()
+            },
+        },
+        // End-to-end: the same payload dataplane with a streaming receiver on every
+        // subscribing endpoint and a drain-loop consumer thread per receiver, so the
+        // delivered-vs-received gap (mailbox hand-off + consumer drain) is measured,
+        // not assumed. Blocking overflow: nothing is shed, slow consumers
+        // backpressure the shards end to end.
+        ConfigSpec {
+            label: "4 shards, zero-copy, drain-loop consumers",
+            payload: true,
+            consumers: true,
+            config: DataplaneConfig {
+                shards: 4,
+                payload_mode: PayloadMode::ZeroCopy,
+                cache_decisions: true,
+                cache_ac_decisions: true,
+                audit_detail: AuditDetail::Summarised,
+                audit_batch: 1024,
+                audit_retention: Some(65_536),
+                mailbox_capacity: 4096,
                 ..DataplaneConfig::default()
             },
         },
@@ -133,6 +164,12 @@ struct ConfigResult {
     ifc_cache_hit_ratio: f64,
     ac_cache_hit_ratio: f64,
     speedup_vs_baseline: f64,
+    /// Messages observed by drain-loop consumer threads (0 when the configuration
+    /// runs without consumers).
+    received: u64,
+    /// Consumer-side throughput over the whole run including the final backlog drain
+    /// (0.0 without consumers).
+    received_per_sec: f64,
 }
 
 fn drive_flow(dataplane: &Dataplane, publishers: &[String], messages: u64) -> u64 {
@@ -188,6 +225,25 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
             .expect("topology installs");
         assert_eq!(admitted, topology.edges.len(), "all scenario channels are legal");
 
+        // Streaming receivers: one per subscribing endpoint, each drained by its own
+        // consumer thread until the dataplane shuts the mailbox down.
+        let mut consumers = Vec::new();
+        if spec.consumers {
+            let mut receivers: Vec<&String> = topology.edges.iter().map(|(_, to)| to).collect();
+            receivers.sort();
+            receivers.dedup();
+            for name in receivers {
+                let subscriber = dataplane.open_subscriber(name).expect("receiver opens");
+                consumers.push(std::thread::spawn(move || {
+                    let mut received = 0u64;
+                    while subscriber.recv().is_ok() {
+                        received += 1;
+                    }
+                    received
+                }));
+            }
+        }
+
         let start = Instant::now();
         if spec.payload {
             drive_payload(&dataplane, &pairs, messages);
@@ -198,10 +254,23 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
         let elapsed = start.elapsed();
         let stats = dataplane.stats();
         let report = dataplane.shutdown();
+        // Shutdown closed every mailbox: the consumers drain their backlog and exit.
+        // Joined (and timed) before the chain verification below so the consumer
+        // throughput is not charged for unrelated audit-walk work.
+        let received: u64 = consumers.into_iter().map(|c| c.join().expect("consumer")).sum();
+        let consumer_elapsed = start.elapsed();
+        let received_per_sec =
+            if spec.consumers { received as f64 / consumer_elapsed.as_secs_f64() } else { 0.0 };
         assert!(
             report.shard_audit.iter().all(|log| log.verify_chain().is_intact()),
             "per-shard audit chains stay tamper-evident"
         );
+        if spec.consumers {
+            assert_eq!(
+                received, stats.receiver_enqueued,
+                "consumers observe exactly what the shards enqueued (blocking overflow: no sheds)"
+            );
+        }
 
         let rate = stats.published as f64 / elapsed.as_secs_f64();
         let bytes_per_sec = stats.payload_bytes as f64 / elapsed.as_secs_f64();
@@ -214,12 +283,13 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
             Some(base) => rate / base,
         };
         println!(
-            "   {:<38} {:>10.0} msgs/s {:>7.1} MB/s  {:>5.2}x  delivered {} denied {} quenched {} ifc-hit {:>5.1}% ac-hit {:>5.1}%",
+            "   {:<42} {:>10.0} msgs/s {:>7.1} MB/s  {:>5.2}x  delivered {} received {} denied {} quenched {} ifc-hit {:>5.1}% ac-hit {:>5.1}%",
             spec.label,
             rate,
             bytes_per_sec / 1e6,
             speedup,
             stats.delivered,
+            received,
             stats.denied,
             stats.quenched_attributes,
             stats.cache_hit_ratio() * 100.0,
@@ -227,7 +297,13 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
         );
         results.push(ConfigResult {
             label: spec.label.to_string(),
-            mode: if spec.payload { "payload" } else { "flow" },
+            mode: if spec.consumers {
+                "payload+consumers"
+            } else if spec.payload {
+                "payload"
+            } else {
+                "flow"
+            },
             msgs_per_sec: rate,
             bytes_per_sec,
             delivered: stats.delivered,
@@ -236,6 +312,8 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
             ifc_cache_hit_ratio: stats.cache_hit_ratio(),
             ac_cache_hit_ratio: stats.ac_cache_hit_ratio(),
             speedup_vs_baseline: speedup,
+            received,
+            received_per_sec,
         });
     }
     results
@@ -266,7 +344,9 @@ fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>)]) {
             let _ =
                 writeln!(json, "          \"ac_cache_hit_ratio\": {:.4},", r.ac_cache_hit_ratio);
             let _ =
-                writeln!(json, "          \"speedup_vs_baseline\": {:.3}", r.speedup_vs_baseline);
+                writeln!(json, "          \"speedup_vs_baseline\": {:.3},", r.speedup_vs_baseline);
+            let _ = writeln!(json, "          \"received\": {},", r.received);
+            let _ = writeln!(json, "          \"received_per_sec\": {:.0}", r.received_per_sec);
             let _ =
                 writeln!(json, "        }}{}", if index + 1 < results.len() { "," } else { "" });
         }
