@@ -17,6 +17,7 @@ use legaliot_dataplane::{
     smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, PayloadMode, Topology,
 };
 use legaliot_middleware::Message;
+use legaliot_obs::ObsConfig;
 
 /// Messages driven per sample; with warm-up plus the default sample count this pushes
 /// well over a million messages per configuration through each topology.
@@ -27,7 +28,11 @@ const MESSAGES_PER_SAMPLE: u64 = 50_000;
 const AUDIT_RETENTION: Option<usize> = Some(65_536);
 
 fn config(label: &str) -> DataplaneConfig {
-    match label {
+    // These samples measure the pure enforcement cost, so per-stage telemetry
+    // spans are switched off; latency quantiles come from the example harness
+    // (`BENCH_dataplane.json`), which runs with telemetry enabled and reports
+    // the enabled-vs-disabled throughput delta separately.
+    let base = match label {
         "1shard_uncached_full" => DataplaneConfig {
             shards: 1,
             cache_decisions: false,
@@ -87,7 +92,8 @@ fn config(label: &str) -> DataplaneConfig {
             ..DataplaneConfig::default()
         },
         other => unreachable!("unknown config label {other}"),
-    }
+    };
+    DataplaneConfig { telemetry: ObsConfig::disabled(), ..base }
 }
 
 fn installed(topology: &Topology, label: &str) -> Dataplane {

@@ -6,6 +6,7 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
@@ -17,10 +18,12 @@ use legaliot_middleware::{
     AccessRegime, Component, DeliveryOutcome, FrozenMessage, FrozenSchema, Message, MessageSchema,
     MessageType,
 };
+use legaliot_obs::ObsConfig;
 use legaliot_policy::AcCacheStats;
 
 use crate::shard::{run_worker, DeliveryBody, ShardReport, ShardState, ShardTask};
 use crate::subscriber::{Mailbox, OverflowPolicy, Subscriber};
+use crate::telemetry::TelemetrySnapshot;
 
 /// How much audit evidence the data path records per message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +99,11 @@ pub struct DataplaneConfig {
     /// consumer makes space (lossless end-to-end backpressure) or shed the oldest
     /// queued message with counted, audited `DeliveryDropped` evidence.
     pub overflow: OverflowPolicy,
+    /// Per-stage span timing and latency histograms ([`Dataplane::telemetry`]).
+    /// Enabled by default; [`ObsConfig::disabled`] skips every clock read so the hot
+    /// path keeps its uninstrumented cost (counters and queue-contention series stay
+    /// on either way — they are relaxed atomics on slow paths).
+    pub telemetry: ObsConfig,
 }
 
 impl Default for DataplaneConfig {
@@ -113,6 +121,7 @@ impl Default for DataplaneConfig {
             retain_deliveries: 0,
             mailbox_capacity: 1024,
             overflow: OverflowPolicy::Block,
+            telemetry: ObsConfig::default(),
         }
     }
 }
@@ -226,6 +235,9 @@ pub(crate) struct SharedState {
     /// The context store enforcement-time AC decisions are evaluated against; shards
     /// keep per-batch snapshots of it and AC caches subscribe to it.
     pub context_store: Arc<ContextStore>,
+    /// Time zero for telemetry: enqueue timestamps and worker-side clock reads are
+    /// nanoseconds since this instant, so a `u64` carries them through [`ShardTask`]s.
+    pub epoch: Instant,
 }
 
 /// Aggregated live statistics across all shards.
@@ -377,8 +389,11 @@ impl Dataplane {
                 admission_cache,
                 control_audit: BatchedAppender::new(format!("{name}-control"), 1),
             }),
-            shards: (0..shards).map(|_| ShardState::new(config.queue_capacity)).collect(),
+            shards: (0..shards)
+                .map(|_| ShardState::new(config.queue_capacity, config.telemetry.is_enabled()))
+                .collect(),
             context_store,
+            epoch: Instant::now(),
             name,
         });
         let workers = (0..shards)
@@ -687,24 +702,39 @@ impl Dataplane {
         block: bool,
         mut body: impl FnMut() -> Option<DeliveryBody>,
     ) -> Result<usize, DataplaneError> {
+        // One clock read per fan-out (not per subscriber); 0 when telemetry is off,
+        // which the workers treat as "no timing".
+        let enqueued_ns = if self.config.telemetry.is_enabled() {
+            self.shared.epoch.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         let mut enqueued = 0;
         for (to, shard) in subscribers {
             let task = ShardTask::Deliver {
                 from: Arc::clone(from),
                 to: Arc::clone(to),
                 at_millis: now.as_millis(),
+                enqueued_ns,
                 body: body(),
             };
-            self.shared.shards[*shard].counters.in_flight.fetch_add(1, Ordering::SeqCst);
+            let state = &self.shared.shards[*shard];
+            state.counters.in_flight.fetch_add(1, Ordering::SeqCst);
             if block {
-                self.shared.shards[*shard].queue.push(task);
-            } else if self.shared.shards[*shard].queue.try_push(task).is_err() {
-                self.shared.shards[*shard].counters.in_flight.fetch_sub(1, Ordering::SeqCst);
-                self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
-                return Err(DataplaneError::QueueFull {
-                    shard: *shard,
-                    capacity: self.shared.shards[*shard].queue.capacity(),
-                });
+                let depth = state.queue.push(task);
+                state.telemetry.record_queue_depth(depth);
+            } else {
+                match state.queue.try_push(task) {
+                    Ok(depth) => state.telemetry.record_queue_depth(depth),
+                    Err(_) => {
+                        state.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
+                        return Err(DataplaneError::QueueFull {
+                            shard: *shard,
+                            capacity: state.queue.capacity(),
+                        });
+                    }
+                }
             }
             enqueued += 1;
         }
@@ -918,6 +948,29 @@ impl Dataplane {
             stats.receiver_dropped += shard.counters.receiver_dropped.load(Ordering::Relaxed);
         }
         stats
+    }
+
+    /// A point-in-time [`TelemetrySnapshot`]: aggregated counters plus per-shard
+    /// stage-latency histograms and contention series (queue depth high-water marks,
+    /// park/wait counts, directory-lock wait, Block-policy stalls). Like
+    /// [`Self::stats`], live reads are racy by nature and exact after
+    /// [`Self::drain`]. Render with [`TelemetrySnapshot::to_json`] /
+    /// [`TelemetrySnapshot::to_text`].
+    ///
+    /// When the engine runs with [`ObsConfig::disabled`], stage histograms are empty
+    /// (no span timing is taken) but counters and queue contention are still real.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            dataplane: self.shared.name.clone(),
+            enabled: self.config.telemetry.is_enabled(),
+            stats: self.stats(),
+            shards: self
+                .shared
+                .shards
+                .iter()
+                .map(|shard| shard.telemetry.snapshot(shard.queue.contention()))
+                .collect(),
+        }
     }
 
     /// Closes every open subscriber mailbox: shards stop enqueueing, blocked

@@ -54,6 +54,7 @@
 pub mod engine;
 pub mod queue;
 pub mod subscriber;
+pub mod telemetry;
 pub mod topologies;
 
 mod shard;
@@ -62,9 +63,11 @@ pub use engine::{
     AuditDetail, Dataplane, DataplaneConfig, DataplaneError, DataplaneReport, DataplaneStats,
     PayloadMode,
 };
+pub use queue::QueueContention;
 pub use subscriber::{
     OverflowPolicy, ReceivedMessage, RecvError, RecvTimeoutError, Subscriber, TryRecvError,
 };
+pub use telemetry::{ShardTelemetrySnapshot, Stage, TelemetrySnapshot};
 pub use topologies::{payload_schema, sample_message, smart_city, smart_home, Topology};
 
 #[cfg(test)]
@@ -752,5 +755,82 @@ mod tests {
         assert_eq!(dataplane.stats(), DataplaneStats::default());
         assert_eq!(dataplane.shard_of("sensor-1"), dataplane.shard_of("sensor-1"));
         assert!(dataplane.shard_of("sensor-1") < dataplane.config().shards);
+    }
+
+    /// Flow-only publishes carry no message body, so the per-message-type
+    /// AdmissionCache is never consulted: a cached config must report zero hits
+    /// AND zero misses, which is why the bench emits `ac_cache_hit_ratio: null`
+    /// for flow-mode rows instead of a misleading 0.0.
+    #[test]
+    fn flow_only_publish_never_touches_the_admission_cache() {
+        let config = DataplaneConfig { cache_ac_decisions: true, ..DataplaneConfig::default() };
+        let dataplane = two_pair_plane(config);
+        for t in 10..30 {
+            assert_eq!(dataplane.publish("a", Timestamp(t)).unwrap(), 1);
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.delivered, 20);
+        assert_eq!(
+            (stats.ac_cache_hits, stats.ac_cache_misses),
+            (0, 0),
+            "flow path must not consult the AdmissionCache"
+        );
+    }
+
+    /// Enabled telemetry attributes every allowed delivery across the pipeline
+    /// stages; disabled telemetry leaves histograms empty while the enforcement
+    /// counters stay exact.
+    #[test]
+    fn telemetry_snapshot_reflects_enabled_and_disabled_modes() {
+        use legaliot_obs::ObsConfig;
+        use telemetry::Stage;
+
+        for enabled in [true, false] {
+            let config = DataplaneConfig {
+                telemetry: if enabled { ObsConfig::enabled() } else { ObsConfig::disabled() },
+                ..DataplaneConfig::default()
+            };
+            let dataplane = two_pair_plane(config);
+            dataplane.register_schema(reading_schema()).unwrap();
+            for t in 10..18 {
+                dataplane.publish_message("a", &reading_message(), Timestamp(t)).unwrap();
+            }
+            dataplane.drain();
+
+            let snapshot = dataplane.telemetry();
+            assert_eq!(snapshot.dataplane, "test");
+            assert_eq!(snapshot.enabled, enabled);
+            assert_eq!(snapshot.stats.delivered, 8);
+            assert_eq!(snapshot.shards.len(), dataplane.config().shards);
+
+            let merged = snapshot.merged();
+            if enabled {
+                // Every allowed delivery passes isolation, AC, IFC, quench, and
+                // lands one end-to-end Delivery sample with a real latency.
+                assert_eq!(merged.stage(Stage::Delivery).count(), 8);
+                assert_eq!(merged.stage(Stage::Isolation).count(), 8);
+                assert_eq!(merged.stage(Stage::Ifc).count(), 8);
+                assert_eq!(merged.stage(Stage::Quench).count(), 8);
+                assert_eq!(
+                    merged.stage(Stage::AcHit).count() + merged.stage(Stage::AcMiss).count(),
+                    8
+                );
+                assert!(merged.stage(Stage::Delivery).p99() > 0);
+                let exposition = snapshot.exposition();
+                assert_eq!(exposition.counter("delivered"), Some(8));
+                let delivery = exposition.histogram("stage.delivery").unwrap();
+                assert_eq!(delivery.count(), 8);
+            } else {
+                for stage in Stage::ALL {
+                    assert!(
+                        merged.stage(stage).is_empty(),
+                        "disabled telemetry recorded {}",
+                        stage.name()
+                    );
+                }
+                assert_eq!(snapshot.exposition().counter("delivered"), Some(8));
+            }
+        }
     }
 }

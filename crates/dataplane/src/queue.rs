@@ -8,7 +8,7 @@
 //! load than stall.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Condvar;
 
 use parking_lot::Mutex;
@@ -28,7 +28,24 @@ pub struct BoundedQueue<T> {
     /// Consumers currently parked on `not_empty`; producers skip the notify syscall
     /// when nobody is waiting. Only written under the lock.
     waiting_consumers: AtomicUsize,
+    /// Times a consumer exhausted its spin budget and parked on the condvar
+    /// (telemetry; incremented on the park slow path only).
+    consumer_parks: AtomicU64,
+    /// Times a producer found the queue full and had to wait (telemetry; incremented
+    /// on the full slow path only).
+    producer_waits: AtomicU64,
     capacity: usize,
+}
+
+/// Contention counters of a [`BoundedQueue`]: how often its slow paths ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueContention {
+    /// Consumer parks: `pop_batch` exhausted its spin budget on an empty queue and
+    /// parked on the condvar (a park/wake syscall pair per count).
+    pub consumer_parks: u64,
+    /// Producer waits: `push` found the queue full and blocked until a batch drained
+    /// (ingress backpressure events).
+    pub producer_waits: u64,
 }
 
 impl<T> BoundedQueue<T> {
@@ -40,6 +57,8 @@ impl<T> BoundedQueue<T> {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             waiting_consumers: AtomicUsize::new(0),
+            consumer_parks: AtomicU64::new(0),
+            producer_waits: AtomicU64::new(0),
             capacity,
         }
     }
@@ -59,13 +78,28 @@ impl<T> BoundedQueue<T> {
         self.inner.lock().is_empty()
     }
 
-    /// Pushes an item, blocking while the queue is full (backpressure).
-    pub fn push(&self, item: T) {
+    /// How often this queue's slow paths ran (consumer parks, producer waits).
+    pub fn contention(&self) -> QueueContention {
+        QueueContention {
+            consumer_parks: self.consumer_parks.load(Ordering::Relaxed),
+            producer_waits: self.producer_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pushes an item, blocking while the queue is full (backpressure). Returns the
+    /// queue length right after the push, letting producers feed a depth
+    /// high-water-mark gauge without an extra lock acquisition.
+    pub fn push(&self, item: T) -> usize {
         let mut queue = self.inner.lock();
-        while queue.len() >= self.capacity {
-            queue = self.not_full.wait(queue).unwrap_or_else(std::sync::PoisonError::into_inner);
+        if queue.len() >= self.capacity {
+            self.producer_waits.fetch_add(1, Ordering::Relaxed);
+            while queue.len() >= self.capacity {
+                queue =
+                    self.not_full.wait(queue).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
         }
         queue.push_back(item);
+        let depth = queue.len();
         // Checked under the lock: a consumer either already parked (gets the notify)
         // or has not yet incremented the count and will re-check the queue before
         // parking. Skipping the notify when nobody waits removes a syscall per push.
@@ -74,21 +108,24 @@ impl<T> BoundedQueue<T> {
         if wake {
             self.not_empty.notify_one();
         }
+        depth
     }
 
-    /// Attempts to push without blocking; returns the item back when the queue is full.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    /// Attempts to push without blocking; returns the resulting queue length, or the
+    /// item back when the queue is full.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
         let mut queue = self.inner.lock();
         if queue.len() >= self.capacity {
             return Err(item);
         }
         queue.push_back(item);
+        let depth = queue.len();
         let wake = self.waiting_consumers.load(Ordering::Relaxed) > 0;
         drop(queue);
         if wake {
             self.not_empty.notify_one();
         }
-        Ok(())
+        Ok(depth)
     }
 
     /// Blocks until at least one item is available, then moves up to `max` items into
@@ -112,6 +149,7 @@ impl<T> BoundedQueue<T> {
             }
             // Park: the count is raised under the lock, so a producer that pushes
             // after we release it (inside `wait`) is guaranteed to see it and notify.
+            self.consumer_parks.fetch_add(1, Ordering::Relaxed);
             self.waiting_consumers.fetch_add(1, Ordering::Relaxed);
             let mut queue = queue;
             while queue.is_empty() {
@@ -184,6 +222,41 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn contention_counters_track_slow_paths() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert_eq!(q.contention(), QueueContention::default());
+        assert_eq!(q.push(0u32), 1);
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1)) // full: counted as a producer wait
+        };
+        // Wait until the producer has registered its wait, then drain.
+        while q.contention().producer_waits == 0 {
+            thread::yield_now();
+        }
+        let mut out = Vec::new();
+        let mut seen = 0;
+        while seen < 2 {
+            seen += q.pop_batch(&mut out, 4);
+        }
+        producer.join().unwrap();
+        assert_eq!(q.contention().producer_waits, 1);
+
+        // Empty queue: a delayed push forces the consumer past its spin budget.
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                q.pop_batch(&mut out, 4)
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(30));
+        q.push(2);
+        assert_eq!(consumer.join().unwrap(), 1);
+        assert!(q.contention().consumer_parks >= 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
 use legaliot_context::{ContextSnapshot, Timestamp};
@@ -34,6 +35,7 @@ use legaliot_middleware::{encoded_payload_len, FrozenMessage, Message, MessageTy
 use crate::engine::{AuditDetail, DataplaneConfig, Directory, Endpoint, SharedState};
 use crate::queue::BoundedQueue;
 use crate::subscriber::{MailboxPush, ReceivedMessage};
+use crate::telemetry::{DeliveryProbe, ShardTelemetry, Stage};
 
 /// A message body carried by a [`ShardTask::Deliver`].
 #[derive(Debug)]
@@ -74,6 +76,10 @@ pub(crate) enum ShardTask {
         to: Arc<str>,
         /// Simulated send time in milliseconds.
         at_millis: u64,
+        /// Enqueue time in nanoseconds since the engine's epoch (0 when telemetry is
+        /// disabled); the worker derives ingress-queue wait and end-to-end delivery
+        /// latency from it. Taken once per fan-out, not per subscriber.
+        enqueued_ns: u64,
         /// The message body, if this is a payload-carrying delivery (`None` for the
         /// flow-only fast path).
         body: Option<DeliveryBody>,
@@ -111,16 +117,21 @@ pub(crate) struct ShardCounters {
     pub in_flight: AtomicU64,
 }
 
-/// One shard's queue plus its counters.
+/// One shard's queue plus its counters and telemetry.
 #[derive(Debug)]
 pub(crate) struct ShardState {
     pub queue: BoundedQueue<ShardTask>,
     pub counters: ShardCounters,
+    pub telemetry: ShardTelemetry,
 }
 
 impl ShardState {
-    pub(crate) fn new(queue_capacity: usize) -> Self {
-        ShardState { queue: BoundedQueue::new(queue_capacity), counters: ShardCounters::default() }
+    pub(crate) fn new(queue_capacity: usize, telemetry_enabled: bool) -> Self {
+        ShardState {
+            queue: BoundedQueue::new(queue_capacity),
+            counters: ShardCounters::default(),
+            telemetry: ShardTelemetry::new(telemetry_enabled),
+        }
     }
 }
 
@@ -225,6 +236,7 @@ pub(crate) fn run_worker(
     let mut pending: Vec<PendingHandOff> = Vec::new();
 
     let shard = &shared.shards[index];
+    let telemetry = &shard.telemetry;
     let mut shutdown = false;
     while !shutdown {
         shard.queue.pop_batch(&mut batch, POP_BATCH);
@@ -237,7 +249,16 @@ pub(crate) fn run_worker(
             // overflow policy — are collected here and performed after the lock is
             // released, so a full mailbox never wedges control-plane writers.
             let directory = if batch.iter().any(|t| matches!(t, ShardTask::Deliver { .. })) {
-                Some(shared.directory.read())
+                // Directory-lock wait is a contention series: one sample per batch,
+                // so a writer-heavy control plane shows up as a fat tail here.
+                if telemetry.enabled() {
+                    let requested = Instant::now();
+                    let guard = shared.directory.read();
+                    telemetry.record_ns(Stage::DirLockWait, requested.elapsed().as_nanos() as u64);
+                    Some(guard)
+                } else {
+                    Some(shared.directory.read())
+                }
             } else {
                 None
             };
@@ -260,13 +281,15 @@ pub(crate) fn run_worker(
             for task in batch.drain(..) {
                 processed += 1;
                 match task {
-                    ShardTask::Deliver { from, to, at_millis, body } => {
+                    ShardTask::Deliver { from, to, at_millis, enqueued_ns, body } => {
+                        let probe = DeliveryProbe::begin(telemetry, shared.epoch, enqueued_ns);
                         process_delivery(
                             directory.as_deref().expect("lock held when batch has deliveries"),
                             &config,
                             &mut state,
                             &mut local,
                             &mut pending,
+                            probe,
                             from,
                             to,
                             at_millis,
@@ -293,7 +316,7 @@ pub(crate) fn run_worker(
         // backpressure, while `deregister`/`set_context` remain free to run (and to
         // close the mailbox, which unparks us).
         for hand_off in pending.drain(..) {
-            complete_hand_off(&config, &mut state, &mut local, hand_off);
+            complete_hand_off(&config, &mut state, &mut local, telemetry, hand_off);
         }
         let counters = &shard.counters;
         counters.delivered.fetch_add(local.delivered, Ordering::Relaxed);
@@ -375,6 +398,7 @@ fn process_delivery(
     state: &mut WorkerState,
     local: &mut BatchCounters,
     pending: &mut Vec<PendingHandOff>,
+    mut probe: DeliveryProbe<'_>,
     from: Arc<str>,
     to: Arc<str>,
     at_millis: u64,
@@ -393,10 +417,12 @@ fn process_delivery(
         // isolation short-circuits before the flow-check audit); the imposition of
         // isolation itself is audited on the control-plane log, and the denial is
         // still counted in the pair summary so the evidence totals add up.
+        probe.lap(Stage::Isolation);
         local.denied += 1;
         summarise_denial(&mut state.summaries, from, to, at_millis);
         return;
     }
+    probe.lap(Stage::Isolation);
 
     // Per-message contextual AC at message-type granularity (payload deliveries only —
     // flow-only tasks were admission-checked at subscribe time). Mirrors the bus's
@@ -427,8 +453,10 @@ fn process_delivery(
         };
         if hit {
             local.ac_cache_hits += 1;
+            probe.lap(Stage::AcHit);
         } else {
             local.ac_cache_misses += 1;
+            probe.lap(Stage::AcMiss);
         }
         if !ac.is_allowed() {
             local.denied += 1;
@@ -475,6 +503,7 @@ fn process_delivery(
         local.cache_misses += 1;
         (can_flow(source_context, dst.component.context()), false)
     };
+    probe.lap(Stage::Ifc);
 
     let denied = decision.is_denied();
     if denied {
@@ -501,6 +530,9 @@ fn process_delivery(
             },
             at_millis,
         );
+        probe.lap(Stage::AuditAppend);
+    } else {
+        probe.skip();
     }
 
     // Per-attribute source quenching and delivery accounting (allowed payloads only).
@@ -508,9 +540,13 @@ fn process_delivery(
     if !denied {
         if let Some(body) = body {
             quenched_now = deliver_payload(
-                directory, config, state, local, pending, &from, &to, dst, at_millis, body,
+                directory, config, state, local, pending, &mut probe, &from, &to, dst, at_millis,
+                body,
             );
         }
+        // End-to-end publish→enforced latency, recorded for allowed messages only
+        // (the mailbox hand-off itself is deferred and timed as its own stage).
+        probe.finish();
     }
 
     if config.audit_detail == AuditDetail::Summarised {
@@ -537,6 +573,7 @@ fn deliver_payload(
     state: &mut WorkerState,
     local: &mut BatchCounters,
     pending: &mut Vec<PendingHandOff>,
+    probe: &mut DeliveryProbe<'_>,
     from: &Arc<str>,
     to: &Arc<str>,
     dst: &Endpoint,
@@ -603,6 +640,7 @@ fn deliver_payload(
                     item,
                 });
             }
+            probe.lap(Stage::Quench);
             quenched
         }
         DeliveryBody::Cloned(message) => {
@@ -651,6 +689,7 @@ fn deliver_payload(
                     item: ReceivedMessage::Thawed(Box::new(body)),
                 });
             }
+            probe.lap(Stage::Quench);
             quenched
         }
     }
@@ -666,10 +705,20 @@ fn complete_hand_off(
     config: &DataplaneConfig,
     state: &mut WorkerState,
     local: &mut BatchCounters,
+    telemetry: &ShardTelemetry,
     hand_off: PendingHandOff,
 ) {
     let PendingHandOff { mailbox, from, to, at_millis, item } = hand_off;
-    match mailbox.push(item) {
+    // The hand-off span is the whole push (including any Block stall); the stall
+    // histogram additionally isolates just the parked portion, one sample per push
+    // that actually waited.
+    let started = telemetry.enabled().then(Instant::now);
+    let stall = started.map(|_| telemetry.stage_histogram(Stage::BlockStall));
+    let outcome = mailbox.push(item, stall);
+    if let Some(started) = started {
+        telemetry.record_ns(Stage::Handoff, started.elapsed().as_nanos() as u64);
+    }
+    match outcome {
         MailboxPush::Enqueued => local.receiver_enqueued += 1,
         MailboxPush::DroppedOldest(shed) => {
             local.receiver_enqueued += 1;

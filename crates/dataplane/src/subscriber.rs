@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use legaliot_middleware::{AttributeValue, FrozenMessage, Message, MessageType};
+use legaliot_obs::LatencyHistogram;
 
 /// What a shard does when a delivery lands on a full mailbox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -245,7 +246,15 @@ impl Mailbox {
     /// Enqueues a delivery per the overflow policy. Never blocks under
     /// [`OverflowPolicy::DropOldest`]; under [`OverflowPolicy::Block`] waits until the
     /// consumer makes space or the mailbox closes.
-    pub(crate) fn push(&self, item: ReceivedMessage) -> MailboxPush {
+    ///
+    /// When `stall` is provided (telemetry enabled), the time a Block-policy push
+    /// spends parked on the full mailbox is recorded there — one sample per push that
+    /// actually stalled, so the fast path takes no timestamps.
+    pub(crate) fn push(
+        &self,
+        item: ReceivedMessage,
+        stall: Option<&LatencyHistogram>,
+    ) -> MailboxPush {
         // Cheap lock-free fast path for long-closed mailboxes; the authoritative
         // check is re-done under the lock, where it linearizes against `close`.
         if self.is_closed() {
@@ -255,6 +264,12 @@ impl Mailbox {
         if self.is_closed() {
             return MailboxPush::Closed;
         }
+        let mut stalled_since: Option<Instant> = None;
+        let record_stall = |since: Option<Instant>| {
+            if let (Some(histogram), Some(since)) = (stall, since) {
+                histogram.record(since.elapsed().as_nanos() as u64);
+            }
+        };
         while inner.queue.len() >= self.capacity {
             match self.policy {
                 OverflowPolicy::DropOldest => {
@@ -266,8 +281,13 @@ impl Mailbox {
                     return MailboxPush::DroppedOldest(shed);
                 }
                 OverflowPolicy::Block => {
+                    if stall.is_some() && stalled_since.is_none() {
+                        stalled_since = Some(Instant::now());
+                    }
                     inner = self.not_full.wait(inner).unwrap_or_else(PoisonError::into_inner);
                     if self.is_closed() {
+                        drop(inner);
+                        record_stall(stalled_since);
                         return MailboxPush::Closed;
                     }
                 }
@@ -275,6 +295,7 @@ impl Mailbox {
         }
         inner.queue.push_back(item);
         drop(inner);
+        record_stall(stalled_since);
         self.not_empty.notify_one();
         MailboxPush::Enqueued
     }
@@ -472,10 +493,10 @@ mod tests {
     #[test]
     fn drop_oldest_sheds_and_counts() {
         let mailbox = Mailbox::new(2, OverflowPolicy::DropOldest);
-        assert!(matches!(mailbox.push(item(1)), MailboxPush::Enqueued));
-        assert!(matches!(mailbox.push(item(2)), MailboxPush::Enqueued));
+        assert!(matches!(mailbox.push(item(1), None), MailboxPush::Enqueued));
+        assert!(matches!(mailbox.push(item(2), None), MailboxPush::Enqueued));
         // The shed message is returned so the caller can audit it.
-        match mailbox.push(item(3)) {
+        match mailbox.push(item(3), None) {
             MailboxPush::DroppedOldest(shed) => assert_eq!(shed.sent_at_millis(), 1),
             other => panic!("expected DroppedOldest, got {other:?}"),
         }
@@ -487,10 +508,10 @@ mod tests {
     #[test]
     fn block_policy_waits_for_the_consumer() {
         let mailbox = Arc::new(Mailbox::new(1, OverflowPolicy::Block));
-        assert!(matches!(mailbox.push(item(1)), MailboxPush::Enqueued));
+        assert!(matches!(mailbox.push(item(1), None), MailboxPush::Enqueued));
         let producer = {
             let mailbox = Arc::clone(&mailbox);
-            thread::spawn(move || mailbox.push(item(2)))
+            thread::spawn(move || mailbox.push(item(2), None))
         };
         // The producer is parked on the full mailbox until this recv frees a slot.
         let first = mailbox.recv().unwrap();
@@ -503,10 +524,10 @@ mod tests {
     #[test]
     fn close_unblocks_producers_and_consumers() {
         let mailbox = Arc::new(Mailbox::new(1, OverflowPolicy::Block));
-        mailbox.push(item(1));
+        mailbox.push(item(1), None);
         let blocked_producer = {
             let mailbox = Arc::clone(&mailbox);
-            thread::spawn(move || mailbox.push(item(2)))
+            thread::spawn(move || mailbox.push(item(2), None))
         };
         let blocked_consumer = {
             let mailbox = Arc::new(Mailbox::new(1, OverflowPolicy::Block));
@@ -524,7 +545,7 @@ mod tests {
         assert_eq!(mailbox.recv().unwrap().sent_at_millis(), 1);
         assert_eq!(mailbox.recv().unwrap_err(), RecvError::Disconnected);
         assert_eq!(mailbox.try_recv().unwrap_err(), TryRecvError::Disconnected);
-        assert!(matches!(mailbox.push(item(9)), MailboxPush::Closed));
+        assert!(matches!(mailbox.push(item(9), None), MailboxPush::Closed));
     }
 
     #[test]
@@ -535,7 +556,7 @@ mod tests {
             mailbox.recv_timeout(Duration::from_millis(10)).unwrap_err(),
             RecvTimeoutError::Timeout
         );
-        mailbox.push(item(5));
+        mailbox.push(item(5), None);
         assert_eq!(mailbox.recv_timeout(Duration::from_millis(10)).unwrap().sent_at_millis(), 5);
         mailbox.close();
         assert_eq!(

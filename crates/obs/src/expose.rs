@@ -1,0 +1,270 @@
+//! Text and JSON exposition of a set of named metrics.
+//!
+//! [`MetricsSnapshot`] is an owned, ordered (BTreeMap-backed, so deterministic)
+//! collection of counters, gauges and histogram snapshots. Instrumented components
+//! build one on demand (`Dataplane::telemetry()` does) and render it with
+//! [`to_text`](MetricsSnapshot::to_text) or [`to_json`](MetricsSnapshot::to_json).
+//!
+//! ## Stable schemas
+//!
+//! **Text** — one line per metric, space-separated, sorted by name within each kind:
+//!
+//! ```text
+//! counter <name> <value>
+//! gauge <name> <value>
+//! histogram <name> count=<n> sum=<n> min=<n> max=<n> mean=<n> p50=<n> p90=<n> p99=<n> p999=<n>
+//! ```
+//!
+//! **JSON** — a single object with three fixed keys; histogram values are objects with
+//! the fields below plus non-empty buckets as `[lo, hi, count]` triples:
+//!
+//! ```json
+//! {
+//!   "counters": {"name": 1},
+//!   "gauges": {"name": 2},
+//!   "histograms": {
+//!     "name": {"count": 3, "sum": 30, "min": 5, "max": 20, "mean": 10,
+//!              "p50": 7, "p90": 20, "p99": 20, "p999": 20,
+//!              "buckets": [[4, 7, 2], [16, 31, 1]]}
+//!   }
+//! }
+//! ```
+//!
+//! All values are integers (nanoseconds for the dataplane's histograms); empty
+//! histograms render `min`/`max` as 0. Keys are escaped per JSON; consumers can parse
+//! the output with any JSON parser (the workspace's `telemetry_exposition` integration
+//! test round-trips it through `serde_json`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// An ordered collection of named metric values, renderable as text or JSON.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Records a counter value under `name` (replacing any previous value).
+    pub fn record_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Records a gauge value under `name` (replacing any previous value).
+    pub fn record_gauge(&mut self, name: impl Into<String>, value: u64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Records a histogram snapshot under `name` (replacing any previous value).
+    pub fn record_histogram(&mut self, name: impl Into<String>, snapshot: HistogramSnapshot) {
+        self.histograms.insert(name.into(), snapshot);
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the line-oriented text exposition (schema in the module docs).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} sum={} min={} max={} mean={} p50={} p90={} p99={} p999={}",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+            );
+        }
+        out
+    }
+
+    /// Renders the JSON exposition (schema in the module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        write_scalar_map(&mut out, &self.counters);
+        out.push_str("},\n  \"gauges\": {");
+        write_scalar_map(&mut out, &self.gauges);
+        out.push_str("},\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            write_json_string(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+            );
+            let mut first_bucket = true;
+            for (lo, hi, count) in h.buckets() {
+                if !first_bucket {
+                    out.push_str(", ");
+                }
+                first_bucket = false;
+                let _ = write!(out, "[{lo}, {hi}, {count}]");
+            }
+            out.push_str("]}");
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}");
+        out
+    }
+}
+
+fn write_scalar_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    let mut first = true;
+    for (name, value) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_json_string(out, name);
+        let _ = write!(out, ": {value}");
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Writes `s` as a JSON string literal with the required escapes.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::LatencyHistogram;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.record_counter("published", 10);
+        snap.record_counter("denied", 2);
+        snap.record_gauge("shard0.queue_depth_hwm", 7);
+        let h = LatencyHistogram::new();
+        for v in [100u64, 200, 3_000] {
+            h.record(v);
+        }
+        snap.record_histogram("stage.delivery", h.snapshot());
+        snap
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_line_oriented() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "counter denied 2");
+        assert_eq!(lines[1], "counter published 10");
+        assert_eq!(lines[2], "gauge shard0.queue_depth_hwm 7");
+        assert!(lines[3].starts_with("histogram stage.delivery count=3 sum=3300 min=100 max=3000"));
+    }
+
+    #[test]
+    fn json_exposition_has_fixed_top_level_keys() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"published\": 10"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"buckets\": ["));
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let mut snap = MetricsSnapshot::new();
+        snap.record_counter("we\"ird\\name\n", 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"we\\\"ird\\\\name\\n\": 1"));
+    }
+
+    #[test]
+    fn lookups_return_recorded_values() {
+        let snap = sample();
+        assert_eq!(snap.counter("published"), Some(10));
+        assert_eq!(snap.counter("absent"), None);
+        assert_eq!(snap.gauge("shard0.queue_depth_hwm"), Some(7));
+        assert_eq!(snap.histogram("stage.delivery").unwrap().count(), 3);
+        assert_eq!(snap.counters().count(), 2);
+        assert_eq!(snap.gauges().count(), 1);
+        assert_eq!(snap.histograms().count(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! # legaliot-obs
+//!
+//! Lock-free observability primitives for the enforcement middleware: atomic
+//! [`Counter`]s and [`MaxGauge`]s, log2-bucketed [`LatencyHistogram`]s with mergeable
+//! [`HistogramSnapshot`]s and `p50/p90/p99/p999` estimation, a named [`Registry`], and
+//! a stable text / JSON exposition surface ([`MetricsSnapshot`]).
+//!
+//! The paper's central claim (Singh et al., Middleware 2016) is that policy enforcement
+//! can live *inside* the messaging layer at low overhead. Substantiating that requires
+//! more than end-to-end msgs/s: each pipeline stage — isolation, contextual AC, IFC,
+//! quenching, audit — has its own tax, and regressions (e.g. the 4-shard scaling dip in
+//! `BENCH_dataplane.json`) are only attributable when per-stage latency is visible.
+//! This crate provides the recording primitives; `legaliot-dataplane` threads them
+//! through the shard workers and exposes [`MetricsSnapshot`] via
+//! `Dataplane::telemetry()`.
+//!
+//! Design constraints:
+//!
+//! - **Recording is lock-free.** Every `record`/`inc` is a handful of relaxed atomic
+//!   RMWs; no allocation, no locks, no syscalls. Histograms use 65 power-of-two
+//!   buckets, so the bucket index is a `leading_zeros` away.
+//! - **Snapshots are mergeable.** Per-shard histograms merge into one by summing
+//!   bucket counts, which is how per-shard telemetry becomes a single dataplane-wide
+//!   percentile report.
+//! - **Quantiles are bucket-bounded estimates.** `quantile(q)` returns the upper bound
+//!   of the bucket holding the rank-`q` sample; [`HistogramSnapshot::quantile_bounds`]
+//!   exposes the full `[lo, hi]` bracket so callers (and the property tests) can reason
+//!   about the log2 error bound: the true sample quantile always lies inside it.
+//! - **Disabled means nearly free.** [`ObsConfig::disabled()`] lets instrumented code
+//!   skip every clock read; the residual cost is the pre-existing relaxed counters.
+//!
+//! ```
+//! use legaliot_obs::{LatencyHistogram, MetricsSnapshot};
+//!
+//! let h = LatencyHistogram::new();
+//! for v in [120_u64, 340, 950, 4_100] {
+//!     h.record(v);
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count(), 4);
+//! let (lo, hi) = snap.quantile_bounds(0.5).unwrap();
+//! assert!(lo <= 340 && 340 <= hi);
+//!
+//! let mut out = MetricsSnapshot::new();
+//! out.record_histogram("stage.delivery", snap);
+//! assert!(out.to_json().contains("\"stage.delivery\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expose;
+mod histogram;
+mod metrics;
+mod registry;
+
+pub use expose::MetricsSnapshot;
+pub use histogram::{bucket_bounds, HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use metrics::{Counter, MaxGauge};
+pub use registry::Registry;
+
+/// Whether instrumented components should take timestamps at all.
+///
+/// Threaded through `DataplaneConfig` (and the bus). When disabled, instrumented code
+/// paths skip every `Instant::now()` call; only always-on relaxed counters remain, so
+/// the enforcement hot path keeps its uninstrumented cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// When `false`, span timing is skipped entirely (no clock reads).
+    pub enabled: bool,
+}
+
+impl ObsConfig {
+    /// Telemetry on: per-stage span timing and latency histograms are recorded.
+    pub fn enabled() -> Self {
+        ObsConfig { enabled: true }
+    }
+
+    /// Telemetry off: no clock reads; instrumentation reduces to the handful of
+    /// relaxed atomics that exist regardless.
+    pub fn disabled() -> Self {
+        ObsConfig { enabled: false }
+    }
+
+    /// Whether span timing is active.
+    pub fn is_enabled(self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for ObsConfig {
+    /// Telemetry defaults to **on**: observability out of the box, with the bench
+    /// quantifying the (small) cost and `disabled()` available for peak-throughput
+    /// deployments.
+    fn default() -> Self {
+        ObsConfig::enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_config_roundtrip() {
+        assert!(ObsConfig::default().is_enabled());
+        assert!(ObsConfig::enabled().is_enabled());
+        assert!(!ObsConfig::disabled().is_enabled());
+    }
+}

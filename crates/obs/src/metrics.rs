@@ -1,0 +1,100 @@
+//! Scalar metrics: monotone counters and high-water-mark gauges.
+//!
+//! Both are single relaxed atomics — safe to share across shard workers and cheap
+//! enough to leave on even when span timing is disabled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that keeps the maximum value ever recorded (high-water mark).
+///
+/// Used for queue depths: producers record the post-push length and the gauge
+/// retains the peak, which is the number that matters for sizing and for spotting
+/// sustained backpressure.
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        MaxGauge(AtomicU64::new(0))
+    }
+
+    /// Raises the high-water mark to `value` if it is larger.
+    pub fn record(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The largest value recorded so far (zero if none).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn max_gauge_keeps_peak() {
+        let g = MaxGauge::new();
+        g.record(3);
+        g.record(9);
+        g.record(5);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

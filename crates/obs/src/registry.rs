@@ -1,0 +1,144 @@
+//! A named registry of metrics with lock-free recording.
+//!
+//! Registration (first lookup of a name) takes a write lock; every subsequent
+//! recording happens through the returned `Arc` with relaxed atomics only. Components
+//! that prefer typed metric structs (the dataplane does) can skip the registry and
+//! build a [`MetricsSnapshot`] directly; the registry is for looser wiring, e.g. the
+//! bus exposing a handful of named series without a bespoke snapshot type.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::expose::MetricsSnapshot;
+use crate::histogram::LatencyHistogram;
+use crate::metrics::{Counter, MaxGauge};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<MaxGauge>>,
+    histograms: BTreeMap<String, Arc<LatencyHistogram>>,
+}
+
+/// A collection of metrics addressable by name.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return Arc::clone(c);
+        }
+        let mut inner = self.inner.write();
+        Arc::clone(inner.counters.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the high-water-mark gauge registered under `name`, creating it on
+    /// first use.
+    pub fn gauge(&self, name: &str) -> Arc<MaxGauge> {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let mut inner = self.inner.write();
+        Arc::clone(inner.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return Arc::clone(h);
+        }
+        let mut inner = self.inner.write();
+        Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshots every registered metric into an exposable [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read();
+        let mut out = MetricsSnapshot::new();
+        for (name, c) in &inner.counters {
+            out.record_counter(name.clone(), c.get());
+        }
+        for (name, g) in &inner.gauges {
+            out.record_gauge(name.clone(), g.get());
+        }
+        for (name, h) in &inner.histograms {
+            out.record_histogram(name.clone(), h.snapshot());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let registry = Registry::new();
+        registry.counter("messages").add(3);
+        registry.counter("messages").add(4);
+        assert_eq!(registry.counter("messages").get(), 7);
+
+        registry.gauge("depth").record(9);
+        registry.gauge("depth").record(2);
+        assert_eq!(registry.gauge("depth").get(), 9);
+
+        registry.histogram("latency").record(100);
+        registry.histogram("latency").record(200);
+        assert_eq!(registry.histogram("latency").snapshot().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_carries_all_kinds() {
+        let registry = Registry::new();
+        registry.counter("a").inc();
+        registry.gauge("b").record(5);
+        registry.histogram("c").record(50);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a"), Some(1));
+        assert_eq!(snap.gauge("b"), Some(5));
+        assert_eq!(snap.histogram("c").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_registration_converges_on_one_metric() {
+        let registry = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        registry.counter("shared").inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(registry.counter("shared").get(), 8_000);
+    }
+}

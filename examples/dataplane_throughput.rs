@@ -18,9 +18,11 @@ use std::time::Instant;
 
 use legaliot::context::{ContextSnapshot, Timestamp};
 use legaliot::dataplane::{
-    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, PayloadMode, Topology,
+    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, PayloadMode,
+    ShardTelemetrySnapshot, Stage, Topology,
 };
 use legaliot::middleware::Message;
+use legaliot::obs::ObsConfig;
 
 struct ConfigSpec {
     label: &'static str,
@@ -157,12 +159,17 @@ struct ConfigResult {
     label: String,
     mode: &'static str,
     msgs_per_sec: f64,
-    bytes_per_sec: f64,
+    /// `None` for flow-only configurations: no payload moves, so a byte rate would
+    /// be a misleading 0 rather than a measurement.
+    bytes_per_sec: Option<f64>,
     delivered: u64,
     denied: u64,
     quenched_attributes: u64,
     ifc_cache_hit_ratio: f64,
-    ac_cache_hit_ratio: f64,
+    /// `None` for flow-only configurations: the flow path never consults the
+    /// AdmissionCache (per-message-type AC is a payload-path concern), so there is
+    /// no ratio to report.
+    ac_cache_hit_ratio: Option<f64>,
     speedup_vs_baseline: f64,
     /// Messages observed by drain-loop consumer threads (0 when the configuration
     /// runs without consumers).
@@ -170,6 +177,8 @@ struct ConfigResult {
     /// Consumer-side throughput over the whole run including the final backlog drain
     /// (0.0 without consumers).
     received_per_sec: f64,
+    /// Merged per-shard stage telemetry captured after the drain.
+    telemetry: ShardTelemetrySnapshot,
 }
 
 fn drive_flow(dataplane: &Dataplane, publishers: &[String], messages: u64) -> u64 {
@@ -253,6 +262,7 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
         dataplane.drain();
         let elapsed = start.elapsed();
         let stats = dataplane.stats();
+        let merged_telemetry = dataplane.telemetry().merged();
         let report = dataplane.shutdown();
         // Shutdown closed every mailbox: the consumers drain their backlog and exit.
         // Joined (and timed) before the chain verification below so the consumer
@@ -273,7 +283,11 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
         }
 
         let rate = stats.published as f64 / elapsed.as_secs_f64();
-        let bytes_per_sec = stats.payload_bytes as f64 / elapsed.as_secs_f64();
+        // Flow-only rows move no payload and never touch the AdmissionCache: report
+        // `null` rather than a misleading 0 / 0.0 for those columns.
+        let bytes_per_sec =
+            spec.payload.then(|| stats.payload_bytes as f64 / elapsed.as_secs_f64());
+        let ac_cache_hit_ratio = spec.payload.then(|| stats.ac_cache_hit_ratio());
         let baseline = if spec.payload { &mut payload_baseline } else { &mut flow_baseline };
         let speedup = match *baseline {
             None => {
@@ -282,18 +296,22 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
             }
             Some(base) => rate / base,
         };
+        let delivery = merged_telemetry.stage(Stage::Delivery);
         println!(
-            "   {:<42} {:>10.0} msgs/s {:>7.1} MB/s  {:>5.2}x  delivered {} received {} denied {} quenched {} ifc-hit {:>5.1}% ac-hit {:>5.1}%",
+            "   {:<42} {:>10.0} msgs/s {:>7.1} MB/s  {:>5.2}x  delivered {} received {} denied {} quenched {} ifc-hit {:>5.1}% ac-hit {} p50 {} p99 {} p999 {}",
             spec.label,
             rate,
-            bytes_per_sec / 1e6,
+            bytes_per_sec.unwrap_or(0.0) / 1e6,
             speedup,
             stats.delivered,
             received,
             stats.denied,
             stats.quenched_attributes,
             stats.cache_hit_ratio() * 100.0,
-            stats.ac_cache_hit_ratio() * 100.0,
+            ac_cache_hit_ratio.map_or_else(|| "n/a".into(), |r| format!("{:.1}%", r * 100.0)),
+            format_ns(delivery.p50()),
+            format_ns(delivery.p99()),
+            format_ns(delivery.p999()),
         );
         results.push(ConfigResult {
             label: spec.label.to_string(),
@@ -310,47 +328,155 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
             denied: stats.denied,
             quenched_attributes: stats.quenched_attributes,
             ifc_cache_hit_ratio: stats.cache_hit_ratio(),
-            ac_cache_hit_ratio: stats.ac_cache_hit_ratio(),
+            ac_cache_hit_ratio,
             speedup_vs_baseline: speedup,
             received,
             received_per_sec,
+            telemetry: merged_telemetry,
         });
     }
     results
 }
 
+/// Human-readable nanoseconds for the console table.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Measures the cost of telemetry itself: the 1-shard cached zero-copy payload
+/// configuration run back-to-back with telemetry disabled, then enabled. Returns
+/// `(disabled_rate, enabled_rate)` in msgs/s.
+fn run_telemetry_overhead(topology: &Topology, messages: u64) -> (f64, f64) {
+    let pairs = topology.publisher_messages();
+    let mut rates = [0.0f64; 2];
+    for (index, telemetry) in [ObsConfig::disabled(), ObsConfig::enabled()].into_iter().enumerate()
+    {
+        let config = DataplaneConfig {
+            shards: 1,
+            payload_mode: PayloadMode::ZeroCopy,
+            cache_decisions: true,
+            cache_ac_decisions: true,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: Some(65_536),
+            telemetry,
+            ..DataplaneConfig::default()
+        };
+        let dataplane = Dataplane::new(topology.name.clone(), config);
+        topology
+            .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+            .expect("topology installs");
+        let start = Instant::now();
+        drive_payload(&dataplane, &pairs, messages);
+        dataplane.drain();
+        let elapsed = start.elapsed();
+        let stats = dataplane.stats();
+        dataplane.shutdown();
+        rates[index] = stats.published as f64 / elapsed.as_secs_f64();
+    }
+    println!(
+        "   telemetry overhead (1 shard, zero-copy, cached): off {:>10.0} msgs/s  on {:>10.0} msgs/s  ({:.1}% cost)",
+        rates[0],
+        rates[1],
+        (1.0 - rates[1] / rates[0]) * 100.0
+    );
+    (rates[0], rates[1])
+}
+
 /// Renders the results as JSON by hand (stable key order, no dependencies) and writes
 /// them to `BENCH_dataplane.json` at the repo root.
-fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>)]) {
+fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>, (f64, f64))]) {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"dataplane_throughput\",");
     let _ = writeln!(json, "  \"messages_per_config\": {messages},");
     json.push_str("  \"topologies\": {\n");
-    for (t_index, (name, results)) in all.iter().enumerate() {
+    for (t_index, (name, results, overhead)) in all.iter().enumerate() {
         let _ = writeln!(json, "    \"{name}\": {{");
         json.push_str("      \"configs\": [\n");
         for (index, r) in results.iter().enumerate() {
+            let delivery = r.telemetry.stage(Stage::Delivery);
             let _ = writeln!(json, "        {{");
             let _ = writeln!(json, "          \"label\": \"{}\",", r.label);
             let _ = writeln!(json, "          \"mode\": \"{}\",", r.mode);
             let _ = writeln!(json, "          \"msgs_per_sec\": {:.0},", r.msgs_per_sec);
-            let _ = writeln!(json, "          \"bytes_per_sec\": {:.0},", r.bytes_per_sec);
+            let _ = writeln!(
+                json,
+                "          \"bytes_per_sec\": {},",
+                r.bytes_per_sec.map_or_else(|| "null".into(), |b| format!("{b:.0}"))
+            );
             let _ = writeln!(json, "          \"delivered\": {},", r.delivered);
             let _ = writeln!(json, "          \"denied\": {},", r.denied);
             let _ = writeln!(json, "          \"quenched_attributes\": {},", r.quenched_attributes);
             let _ =
                 writeln!(json, "          \"ifc_cache_hit_ratio\": {:.4},", r.ifc_cache_hit_ratio);
-            let _ =
-                writeln!(json, "          \"ac_cache_hit_ratio\": {:.4},", r.ac_cache_hit_ratio);
+            let _ = writeln!(
+                json,
+                "          \"ac_cache_hit_ratio\": {},",
+                r.ac_cache_hit_ratio.map_or_else(|| "null".into(), |a| format!("{a:.4}"))
+            );
             let _ =
                 writeln!(json, "          \"speedup_vs_baseline\": {:.3},", r.speedup_vs_baseline);
             let _ = writeln!(json, "          \"received\": {},", r.received);
-            let _ = writeln!(json, "          \"received_per_sec\": {:.0}", r.received_per_sec);
+            let _ = writeln!(json, "          \"received_per_sec\": {:.0},", r.received_per_sec);
+            // Delivery latency (enqueue → enforcement complete, ns) over every
+            // delivered message, plus the per-stage breakdown attributing it.
+            let _ = writeln!(json, "          \"latency_p50_ns\": {},", delivery.p50());
+            let _ = writeln!(json, "          \"latency_p90_ns\": {},", delivery.p90());
+            let _ = writeln!(json, "          \"latency_p99_ns\": {},", delivery.p99());
+            let _ = writeln!(json, "          \"latency_p999_ns\": {},", delivery.p999());
+            let _ = writeln!(
+                json,
+                "          \"queue_depth_hwm\": {},",
+                r.telemetry.queue_depth_high_water
+            );
+            let _ = writeln!(
+                json,
+                "          \"queue_consumer_parks\": {},",
+                r.telemetry.queue_consumer_parks
+            );
+            let _ = writeln!(
+                json,
+                "          \"queue_producer_waits\": {},",
+                r.telemetry.queue_producer_waits
+            );
+            json.push_str("          \"stages\": {\n");
+            let populated: Vec<Stage> =
+                Stage::ALL.into_iter().filter(|s| !r.telemetry.stage(*s).is_empty()).collect();
+            for (s_index, stage) in populated.iter().enumerate() {
+                let h = r.telemetry.stage(*stage);
+                let _ = writeln!(
+                    json,
+                    "            \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}",
+                    stage.name(),
+                    h.count(),
+                    h.p50(),
+                    h.p99(),
+                    if s_index + 1 < populated.len() { "," } else { "" }
+                );
+            }
+            json.push_str("          }\n");
             let _ =
                 writeln!(json, "        }}{}", if index + 1 < results.len() { "," } else { "" });
         }
         json.push_str("      ],\n");
+        let (off_rate, on_rate) = *overhead;
+        json.push_str("      \"telemetry_overhead\": {\n");
+        let _ = writeln!(json, "        \"config\": \"1 shard, payload zero-copy, cached\",");
+        let _ = writeln!(json, "        \"telemetry_disabled_msgs_per_sec\": {off_rate:.0},");
+        let _ = writeln!(json, "        \"telemetry_enabled_msgs_per_sec\": {on_rate:.0},");
+        let _ = writeln!(
+            json,
+            "        \"enabled_over_disabled\": {:.4}",
+            if off_rate > 0.0 { on_rate / off_rate } else { 0.0 }
+        );
+        json.push_str("      },\n");
         let clone_baseline = results
             .iter()
             .find(|r| r.label.contains("clone-each"))
@@ -388,10 +514,18 @@ fn main() {
     let mut all = Vec::new();
     // Smart home: 8 patients (sensors + analysers + sanitiser + stats pipeline).
     let home = smart_home(8, 2016);
-    all.push((home.name.clone(), run_topology(&home, messages)));
+    all.push((
+        home.name.clone(),
+        run_topology(&home, messages),
+        run_telemetry_overhead(&home, messages),
+    ));
     // Smart city: 4 districts × 8 sensors feeding gateways, analytics, anonymiser.
     let city = smart_city(4, 8);
-    all.push((city.name.clone(), run_topology(&city, messages)));
+    all.push((
+        city.name.clone(),
+        run_topology(&city, messages),
+        run_telemetry_overhead(&city, messages),
+    ));
 
     write_bench_json(messages, &all);
 }

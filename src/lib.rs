@@ -30,5 +30,6 @@ pub use legaliot_iot as iot;
 pub use legaliot_kernel as kernel;
 pub use legaliot_middleware as middleware;
 pub use legaliot_net as net;
+pub use legaliot_obs as obs;
 pub use legaliot_policy as policy;
 pub use legaliot_trust as trust;

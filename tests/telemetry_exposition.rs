@@ -1,0 +1,92 @@
+//! Exposition smoke test: builds a small dataplane, publishes through it, and
+//! round-trips the telemetry snapshot through the documented JSON exposition
+//! schema with an independent parser (the vendored `serde_json`), asserting the
+//! fields a scraper would rely on are present, typed, and internally consistent.
+
+use legaliot::context::{ContextSnapshot, Timestamp};
+use legaliot::dataplane::{smart_home, Dataplane, DataplaneConfig};
+use serde_json::Value;
+
+const MESSAGES: u64 = 2_000;
+
+fn driven_dataplane() -> Dataplane {
+    let topology = smart_home(2, 2016);
+    let config = DataplaneConfig { shards: 2, ..DataplaneConfig::default() };
+    let dataplane = Dataplane::new(topology.name.clone(), config);
+    topology
+        .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+        .expect("topology installs");
+    let pairs = topology.publisher_messages();
+    let mut published = 0u64;
+    let mut clock = 2u64;
+    'outer: loop {
+        for (publisher, message) in &pairs {
+            published +=
+                dataplane.publish_message(publisher, message, Timestamp(clock)).unwrap() as u64;
+            clock += 1;
+            if published >= MESSAGES {
+                break 'outer;
+            }
+        }
+    }
+    dataplane.drain();
+    dataplane
+}
+
+#[test]
+fn json_exposition_round_trips_through_an_independent_parser() {
+    let dataplane = driven_dataplane();
+    let stats = dataplane.stats();
+    let snapshot = dataplane.telemetry();
+    let parsed: Value =
+        serde_json::from_str(&snapshot.to_json()).expect("exposition is well-formed JSON");
+
+    // Counters mirror DataplaneStats exactly.
+    let counters = parsed["counters"].as_object().expect("counters object");
+    assert_eq!(counters.get("published").and_then(Value::as_u64), Some(stats.published));
+    assert_eq!(counters.get("delivered").and_then(Value::as_u64), Some(stats.delivered));
+    assert!(counters.contains_key("queue_consumer_parks"));
+    assert!(counters.contains_key("queue_producer_waits"));
+
+    // Gauges carry the queue-depth high-water mark.
+    assert!(parsed["gauges"]["queue_depth_hwm"].as_u64().is_some());
+
+    // The merged per-stage histograms: every delivered message landed one
+    // end-to-end `stage.delivery` sample, with ordered quantile estimates and
+    // buckets that sum back to the count.
+    let delivery = &parsed["histograms"]["stage.delivery"];
+    assert_eq!(delivery["count"].as_u64(), Some(stats.delivered));
+    let (p50, p99, p999) = (
+        delivery["p50"].as_u64().expect("p50"),
+        delivery["p99"].as_u64().expect("p99"),
+        delivery["p999"].as_u64().expect("p999"),
+    );
+    assert!(0 < p50 && p50 <= p99 && p99 <= p999);
+    assert!(delivery["min"].as_u64().unwrap() <= delivery["max"].as_u64().unwrap());
+    let bucket_total: u64 = delivery["buckets"]
+        .as_array()
+        .expect("buckets array")
+        .iter()
+        .map(|b| b[2].as_u64().expect("bucket count"))
+        .sum();
+    assert_eq!(bucket_total, stats.delivered);
+
+    // Per-shard histograms exist for each configured shard and fold into the merge.
+    let shard_total: u64 = (0..dataplane.config().shards)
+        .map(|i| {
+            parsed["histograms"][format!("shard{i}.stage.delivery").as_str()]["count"]
+                .as_u64()
+                .expect("per-shard delivery count")
+        })
+        .sum();
+    assert_eq!(shard_total, stats.delivered);
+
+    // The text exposition names the same histogram with the same count.
+    let text = snapshot.to_text();
+    assert!(text.lines().any(|line| {
+        line.starts_with("histogram stage.delivery ")
+            && line.contains(&format!("count={}", stats.delivered))
+    }));
+
+    dataplane.shutdown();
+}
