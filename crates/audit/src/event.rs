@@ -42,6 +42,11 @@ pub enum AuditEventKind {
     /// Enforcement allowed a delivery, but the subscriber's bounded mailbox shed it
     /// (drop-oldest overflow): the consumer never observed the message.
     DeliveryDropped,
+    /// An enforcement shard crashed and was restarted by its supervisor.
+    ShardRestarted,
+    /// Accepted work was abandoned by a crashed (or degraded) enforcement shard:
+    /// the affected deliveries were neither enforced nor delivered.
+    DeliveryLost,
 }
 
 impl fmt::Display for AuditEventKind {
@@ -58,6 +63,8 @@ impl fmt::Display for AuditEventKind {
             AuditEventKind::BreakGlass => "break-glass",
             AuditEventKind::MessageQuenched => "message-quenched",
             AuditEventKind::DeliveryDropped => "delivery-dropped",
+            AuditEventKind::ShardRestarted => "shard-restarted",
+            AuditEventKind::DeliveryLost => "delivery-lost",
         };
         f.write_str(s)
     }
@@ -213,6 +220,39 @@ pub enum AuditEvent {
         /// across records counts every shed delivery exactly once.
         dropped: u64,
     },
+    /// An enforcement shard's worker panicked and its supervisor restarted it:
+    /// decision caches were rebuilt cold and the shard's audit chain was re-anchored
+    /// on the last flushed hash, so chain verification still passes across the
+    /// restart. Recorded on the restarted shard's own log, first record after the
+    /// re-anchor.
+    ShardRestarted {
+        /// The restarted shard's identifier (its per-shard audit authority name).
+        shard: String,
+        /// 1-based restart ordinal for this shard (how many restarts so far).
+        restart: u64,
+        /// The captured panic message, best-effort (`<non-string panic payload>`
+        /// when the payload was not a string).
+        cause: String,
+    },
+    /// Deliveries accepted for `source -> destination` that were neither enforced
+    /// nor delivered, because the shard processing them crashed mid-task (or had
+    /// degraded after exhausting its restart budget). The loss is evidenced so the
+    /// accounting identity `published == delivered + denied + missing + lost`
+    /// stays exact; a lost delivery is never silently dropped.
+    DeliveryLost {
+        /// Name of the source entity.
+        source: String,
+        /// Name of the destination entity.
+        destination: String,
+        /// The message type concerned, when the lost delivery carried a payload
+        /// (`None` for flow-only deliveries).
+        message_type: Option<String>,
+        /// How many deliveries this record accounts for.
+        lost: u64,
+        /// Why the work was abandoned (captured panic message, or a degraded-shard
+        /// note).
+        cause: String,
+    },
 }
 
 impl AuditEvent {
@@ -230,6 +270,8 @@ impl AuditEvent {
             AuditEvent::BreakGlass { .. } => AuditEventKind::BreakGlass,
             AuditEvent::MessageQuenched { .. } => AuditEventKind::MessageQuenched,
             AuditEvent::DeliveryDropped { .. } => AuditEventKind::DeliveryDropped,
+            AuditEvent::ShardRestarted { .. } => AuditEventKind::ShardRestarted,
+            AuditEvent::DeliveryLost { .. } => AuditEventKind::DeliveryLost,
         }
     }
 
@@ -274,6 +316,10 @@ impl AuditEvent {
                 vec![source.as_str(), destination.as_str()]
             }
             AuditEvent::DeliveryDropped { source, destination, .. } => {
+                vec![source.as_str(), destination.as_str()]
+            }
+            AuditEvent::ShardRestarted { shard, .. } => vec![shard.as_str()],
+            AuditEvent::DeliveryLost { source, destination, .. } => {
                 vec![source.as_str(), destination.as_str()]
             }
         }
@@ -329,6 +375,17 @@ impl fmt::Display for AuditEvent {
                     f,
                     "dropped {dropped} {message_type} {source} -> {destination} (mailbox overflow)"
                 )
+            }
+            AuditEvent::ShardRestarted { shard, restart, cause } => {
+                write!(f, "shard {shard} restarted (restart #{restart}: {cause})")
+            }
+            AuditEvent::DeliveryLost { source, destination, message_type, lost, cause } => {
+                match message_type {
+                    Some(message_type) => {
+                        write!(f, "lost {lost} {message_type} {source} -> {destination} ({cause})")
+                    }
+                    None => write!(f, "lost {lost} {source} -> {destination} ({cause})"),
+                }
             }
         }
     }
@@ -460,6 +517,49 @@ mod tests {
         assert!(s.contains("dropped 12"));
         assert!(s.contains("overflow"));
         assert_eq!(AuditEventKind::DeliveryDropped.to_string(), "delivery-dropped");
+    }
+
+    #[test]
+    fn shard_restarted_event() {
+        let e = AuditEvent::ShardRestarted {
+            shard: "plane-shard-2".into(),
+            restart: 3,
+            cause: "failpoint `shard.process` fired".into(),
+        };
+        assert_eq!(e.kind(), AuditEventKind::ShardRestarted);
+        assert!(!e.is_denied_flow());
+        assert_eq!(e.entities(), vec!["plane-shard-2"]);
+        let s = e.to_string();
+        assert!(s.contains("restart #3"));
+        assert!(s.contains("shard.process"));
+        assert_eq!(AuditEventKind::ShardRestarted.to_string(), "shard-restarted");
+    }
+
+    #[test]
+    fn delivery_lost_event() {
+        let e = AuditEvent::DeliveryLost {
+            source: "sensor".into(),
+            destination: "analyser".into(),
+            message_type: Some("reading".into()),
+            lost: 2,
+            cause: "shard worker panicked".into(),
+        };
+        assert_eq!(e.kind(), AuditEventKind::DeliveryLost);
+        assert!(!e.is_denied_flow());
+        assert_eq!(e.entities(), vec!["sensor", "analyser"]);
+        let s = e.to_string();
+        assert!(s.contains("lost 2 reading"));
+        assert!(s.contains("panicked"));
+        assert_eq!(AuditEventKind::DeliveryLost.to_string(), "delivery-lost");
+
+        let flow_only = AuditEvent::DeliveryLost {
+            source: "sensor".into(),
+            destination: "analyser".into(),
+            message_type: None,
+            lost: 1,
+            cause: "shard degraded".into(),
+        };
+        assert!(flow_only.to_string().contains("lost 1 sensor -> analyser"));
     }
 
     #[test]

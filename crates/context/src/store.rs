@@ -116,6 +116,29 @@ struct StoreInner {
     next_subscription: u64,
     /// Last version delivered to each subscriber.
     cursors: BTreeMap<SubscriptionId, u64>,
+    /// When `Some(keep)`, compaction trims the change history down to the `keep`
+    /// newest entries, but never past a change an active subscriber has not polled.
+    retention: Option<usize>,
+}
+
+impl StoreInner {
+    /// Drops fully-delivered history beyond the retention bound. Changes are
+    /// version-sorted, so the droppable region is a prefix: everything every
+    /// subscriber has already polled, excluding the `keep` newest entries (kept
+    /// so `history()` and snapshot timestamps stay useful for debugging).
+    fn compact(&mut self) {
+        let Some(keep) = self.retention else { return };
+        let keep = keep.max(1);
+        let len = self.changes.len();
+        if len <= keep {
+            return;
+        }
+        let min_cursor = self.cursors.values().copied().min().unwrap_or(u64::MAX);
+        let cut = self.changes[..len - keep].partition_point(|c| c.version <= min_cursor);
+        if cut > 0 {
+            self.changes.drain(..cut);
+        }
+    }
 }
 
 /// A thread-safe, versioned key/value context store.
@@ -138,6 +161,32 @@ impl ContextStore {
         Self::default()
     }
 
+    /// Creates an empty store whose change history is compacted down to the
+    /// `keep` newest entries (clamped to at least 1 so snapshot timestamps
+    /// survive compaction). Compaction never discards a change that an active
+    /// subscriber has not yet polled, so [`ContextStore::poll`] still delivers
+    /// every change exactly once — but a subscriber that never polls pins the
+    /// history and defeats the bound.
+    pub fn with_retention(keep: usize) -> Self {
+        let store = Self::default();
+        store.inner.write().retention = Some(keep);
+        store
+    }
+
+    /// Reconfigures the retention bound at runtime. `None` restores the default
+    /// unbounded history; `Some(keep)` applies the same policy as
+    /// [`ContextStore::with_retention`] and compacts immediately.
+    pub fn set_retention(&self, retention: Option<usize>) {
+        let mut inner = self.inner.write();
+        inner.retention = retention;
+        inner.compact();
+    }
+
+    /// The configured retention bound, if any.
+    pub fn retention(&self) -> Option<usize> {
+        self.inner.read().retention
+    }
+
     /// Sets a key to a value, recording the change. Returns the new store version.
     pub fn set(
         &self,
@@ -152,6 +201,7 @@ impl ContextStore {
         let version = inner.version;
         let previous = inner.values.insert(key.clone(), value.clone());
         inner.changes.push(ContextChange { version, at, key, previous, current: Some(value) });
+        inner.compact();
         version
     }
 
@@ -169,6 +219,7 @@ impl ContextStore {
                 previous: Some(previous),
                 current: None,
             });
+            inner.compact();
         }
         inner.version
     }
@@ -220,6 +271,17 @@ impl ContextStore {
         id
     }
 
+    /// Removes a subscriber's cursor. Call when a subscription's owner goes
+    /// away: under a retention bound an abandoned cursor pins change-history
+    /// compaction forever (compaction never drops past the laggiest cursor).
+    /// Polling a removed id afterwards behaves like a fresh cursor at 0, so
+    /// only unsubscribe cursors that are truly done.
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        let mut inner = self.inner.write();
+        inner.cursors.remove(&id);
+        inner.compact();
+    }
+
     /// Returns (and consumes) the changes a subscriber has not yet seen.
     pub fn poll(&self, id: SubscriptionId) -> Vec<ContextChange> {
         let mut inner = self.inner.write();
@@ -228,10 +290,12 @@ impl ContextStore {
             inner.changes.iter().filter(|c| c.version > cursor).cloned().collect();
         let newest = inner.version;
         inner.cursors.insert(id, newest);
+        inner.compact();
         fresh
     }
 
-    /// The full change history (for audit and tests).
+    /// The retained change history (for audit and tests). Unbounded by default;
+    /// with a retention bound set this is only the compacted tail.
     pub fn history(&self) -> Vec<ContextChange> {
         self.inner.read().changes.clone()
     }
@@ -330,6 +394,60 @@ mod tests {
         assert_eq!(history[2].current, None);
         assert!(history[0].to_string().contains("k"));
         assert!(history[2].to_string().contains("removed"));
+    }
+
+    #[test]
+    fn retention_bounds_history() {
+        let store = ContextStore::with_retention(4);
+        assert_eq!(store.retention(), Some(4));
+        for i in 0..100u64 {
+            store.set("k", i as i64, Timestamp(i));
+            assert!(store.history().len() <= 4, "history exceeded bound at write {i}");
+        }
+        // The bound keeps the *newest* entries and the version keeps counting.
+        assert_eq!(store.version(), 100);
+        let history = store.history();
+        assert_eq!(history.len(), 4);
+        assert_eq!(history.last().unwrap().version, 100);
+        assert_eq!(history.first().unwrap().version, 97);
+        // Snapshot timestamps survive compaction.
+        assert_eq!(store.snapshot().taken_at(), Timestamp(99));
+    }
+
+    #[test]
+    fn retention_never_drops_unpolled_changes() {
+        let store = ContextStore::with_retention(2);
+        let sub = store.subscribe();
+        for i in 0..10u64 {
+            store.set("k", i as i64, Timestamp(i));
+        }
+        // The lagging subscriber pins the history: every change is still there.
+        let changes = store.poll(sub);
+        assert_eq!(changes.len(), 10);
+        assert_eq!(changes.first().unwrap().version, 1);
+        // Once delivered, the next write compacts back down to the bound.
+        store.set("k", 99i64, Timestamp(10));
+        assert_eq!(store.poll(sub).len(), 1);
+        assert!(store.history().len() <= 2);
+    }
+
+    #[test]
+    fn set_retention_reconfigures_at_runtime() {
+        let store = ContextStore::new();
+        for i in 0..8u64 {
+            store.set("k", i as i64, Timestamp(i));
+        }
+        assert_eq!(store.history().len(), 8);
+        store.set_retention(Some(3));
+        assert_eq!(store.history().len(), 3);
+        store.set_retention(None);
+        for i in 8..16u64 {
+            store.set("k", i as i64, Timestamp(i));
+        }
+        assert_eq!(store.history().len(), 11);
+        // A zero bound is clamped so the newest change always survives.
+        store.set_retention(Some(0));
+        assert_eq!(store.history().len(), 1);
     }
 
     #[test]

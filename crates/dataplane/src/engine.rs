@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
@@ -21,7 +21,8 @@ use legaliot_middleware::{
 use legaliot_obs::ObsConfig;
 use legaliot_policy::AcCacheStats;
 
-use crate::shard::{run_worker, DeliveryBody, ShardReport, ShardState, ShardTask};
+use crate::failpoint::{self, FailpointRegistry};
+use crate::shard::{panic_message, run_worker, DeliveryBody, ShardReport, ShardState, ShardTask};
 use crate::subscriber::{Mailbox, OverflowPolicy, Subscriber};
 use crate::telemetry::TelemetrySnapshot;
 
@@ -104,6 +105,20 @@ pub struct DataplaneConfig {
     /// path keeps its uninstrumented cost (counters and queue-contention series stay
     /// on either way — they are relaxed atomics on slow paths).
     pub telemetry: ObsConfig,
+    /// Deterministic, seeded fault injection ([`crate::failpoint`]): panics, delays
+    /// and queue-full faults at named sites on the data path, for exercising shard
+    /// supervision and churn soaks. `None` (the default) disables every probe down
+    /// to a single branch, the same zero-cost-when-off discipline as `telemetry` —
+    /// kept measured by the bench example's `failpoint_overhead` A/B.
+    pub failpoints: Option<Arc<FailpointRegistry>>,
+    /// How many times a panicked shard worker is restarted (caches cold, audit
+    /// chain re-anchored, the in-flight batch resumed) before the shard degrades.
+    /// Once degraded, the shard evidences everything it receives as lost and
+    /// publishes routed to it fail fast with [`DataplaneError::ShardUnavailable`].
+    pub restart_budget: u32,
+    /// Base backoff slept before each restart; doubles per consecutive restart
+    /// (capped at ×64), so a crash-looping shard backs off without wedging drain.
+    pub restart_backoff: Duration,
 }
 
 impl Default for DataplaneConfig {
@@ -122,6 +137,9 @@ impl Default for DataplaneConfig {
             mailbox_capacity: 1024,
             overflow: OverflowPolicy::Block,
             telemetry: ObsConfig::default(),
+            failpoints: None,
+            restart_budget: 4,
+            restart_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -165,6 +183,16 @@ pub enum DataplaneError {
         /// The endpoint with a live receiver.
         name: String,
     },
+    /// The destination's shard has degraded: its worker exhausted the restart
+    /// budget ([`DataplaneConfig::restart_budget`]) and no longer enforces
+    /// traffic, so the publish is refused instead of enqueueing work that would
+    /// only be evidenced as lost (or hanging). Deliveries already enqueued for
+    /// earlier subscribers in the fan-out stay enqueued, as with
+    /// [`DataplaneError::QueueFull`].
+    ShardUnavailable {
+        /// The degraded shard.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for DataplaneError {
@@ -185,6 +213,12 @@ impl fmt::Display for DataplaneError {
             }
             DataplaneError::ReceiverAttached { name } => {
                 write!(f, "endpoint `{name}` already has a live receiver attached")
+            }
+            DataplaneError::ShardUnavailable { shard } => {
+                write!(
+                    f,
+                    "shard {shard} is unavailable (degraded after exhausting its restart budget)"
+                )
             }
         }
     }
@@ -270,6 +304,19 @@ pub struct DataplaneStats {
     /// Deliveries shed from full subscriber mailboxes under
     /// [`OverflowPolicy::DropOldest`] (each evidenced as a `DeliveryDropped` record).
     pub receiver_dropped: u64,
+    /// Times a panicked shard worker was restarted by its supervisor (caches
+    /// rebuilt cold, audit chain re-anchored; see `AuditEvent::ShardRestarted`).
+    /// Zero in normal runs.
+    pub shard_restarts: u64,
+    /// Accepted deliveries abandoned by a crashed or degraded shard, each
+    /// evidenced as an `AuditEvent::DeliveryLost` record — the accounting
+    /// identity `published == delivered + denied + missing_endpoint +
+    /// deliveries_lost` holds exactly after [`Dataplane::drain`]. Zero in
+    /// normal runs.
+    pub deliveries_lost: u64,
+    /// Shards currently degraded (restart budget exhausted; publishes routed to
+    /// them fail with [`DataplaneError::ShardUnavailable`]). Zero in normal runs.
+    pub degraded_shards: u64,
 }
 
 impl DataplaneStats {
@@ -310,6 +357,13 @@ pub struct DataplaneReport {
     pub ac_cache_stats: Vec<AcCacheStats>,
     /// The control plane's admission-cache statistics (subscribe-time AC).
     pub admission_cache_stats: AcCacheStats,
+    /// `(shard index, panic message)` for every worker that did not exit
+    /// cleanly at shutdown. Supervision catches worker panics and restarts the
+    /// shard, so this is empty in practice; it exists so teardown *never*
+    /// re-panics — an escaped panic is reported here (with an empty audit log
+    /// and zeroed cache stats in that shard's slots) instead of aborting
+    /// shutdown and wedging the remaining joins.
+    pub worker_panics: Vec<(usize, String)>,
 }
 
 impl DataplaneReport {
@@ -711,6 +765,23 @@ impl Dataplane {
         };
         let mut enqueued = 0;
         for (to, shard) in subscribers {
+            let state = &self.shared.shards[*shard];
+            // A degraded shard no longer enforces anything: fail fast instead of
+            // enqueueing work that would only be evidenced as lost (or, under a
+            // blocking publish, hanging on a queue nobody fully services).
+            if state.counters.degraded.load(Ordering::Relaxed) {
+                self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
+                return Err(DataplaneError::ShardUnavailable { shard: *shard });
+            }
+            // The `ingress.enqueue` failpoint: injected queue-full backpressure
+            // (or a publisher-side delay), before any in-flight accounting.
+            if failpoint::inject_ingress(&self.config.failpoints) {
+                self.published.fetch_add(enqueued as u64, Ordering::Relaxed);
+                return Err(DataplaneError::QueueFull {
+                    shard: *shard,
+                    capacity: state.queue.capacity(),
+                });
+            }
             let task = ShardTask::Deliver {
                 from: Arc::clone(from),
                 to: Arc::clone(to),
@@ -718,7 +789,6 @@ impl Dataplane {
                 enqueued_ns,
                 body: body(),
             };
-            let state = &self.shared.shards[*shard];
             state.counters.in_flight.fetch_add(1, Ordering::SeqCst);
             if block {
                 let depth = state.queue.push(task);
@@ -946,6 +1016,9 @@ impl Dataplane {
             stats.payload_bytes += shard.counters.payload_bytes.load(Ordering::Relaxed);
             stats.receiver_enqueued += shard.counters.receiver_enqueued.load(Ordering::Relaxed);
             stats.receiver_dropped += shard.counters.receiver_dropped.load(Ordering::Relaxed);
+            stats.shard_restarts += shard.counters.restarts.load(Ordering::Relaxed);
+            stats.deliveries_lost += shard.counters.lost.load(Ordering::Relaxed);
+            stats.degraded_shards += u64::from(shard.counters.degraded.load(Ordering::Relaxed));
         }
         stats
     }
@@ -996,11 +1069,25 @@ impl Dataplane {
         let mut shard_audit = Vec::with_capacity(self.workers.len());
         let mut cache_stats = Vec::with_capacity(self.workers.len());
         let mut ac_cache_stats = Vec::with_capacity(self.workers.len());
-        for worker in self.workers.drain(..) {
-            let report = worker.join().expect("shard worker panicked");
-            shard_audit.push(report.audit);
-            cache_stats.push(report.cache_stats);
-            ac_cache_stats.push(report.ac_cache_stats);
+        let mut worker_panics = Vec::new();
+        for (index, worker) in self.workers.drain(..).enumerate() {
+            match worker.join() {
+                Ok(report) => {
+                    shard_audit.push(report.audit);
+                    cache_stats.push(report.cache_stats);
+                    ac_cache_stats.push(report.ac_cache_stats);
+                }
+                Err(payload) => {
+                    // A panic that escaped supervision (e.g. in the shutdown
+                    // epilogue). Reap it without re-panicking: capture the
+                    // payload and keep the report's per-shard vectors aligned
+                    // with placeholder slots.
+                    worker_panics.push((index, panic_message(payload.as_ref())));
+                    shard_audit.push(AuditLog::new(format!("{}-shard-{index}", self.shared.name)));
+                    cache_stats.push(CacheStats::default());
+                    ac_cache_stats.push(AcCacheStats::default());
+                }
+            }
         }
         // Workers are gone, so every enforced delivery is in its mailbox; closing now
         // lets consumers drain the backlog and then observe Disconnected.
@@ -1024,6 +1111,7 @@ impl Dataplane {
             cache_stats,
             ac_cache_stats,
             admission_cache_stats,
+            worker_panics,
         }
     }
 

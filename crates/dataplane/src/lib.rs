@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod failpoint;
 pub mod queue;
 pub mod subscriber;
 pub mod telemetry;
@@ -63,6 +64,7 @@ pub use engine::{
     AuditDetail, Dataplane, DataplaneConfig, DataplaneError, DataplaneReport, DataplaneStats,
     PayloadMode,
 };
+pub use failpoint::{FailpointRegistry, FailpointSite, FailpointSpec, FaultKind};
 pub use queue::QueueContention;
 pub use subscriber::{
     OverflowPolicy, ReceivedMessage, RecvError, RecvTimeoutError, Subscriber, TryRecvError,
@@ -386,6 +388,9 @@ mod tests {
         assert!(DataplaneError::QueueFull { shard: 3, capacity: 8 }
             .to_string()
             .contains("shard 3"));
+        assert!(DataplaneError::ShardUnavailable { shard: 2 }
+            .to_string()
+            .contains("shard 2 is unavailable"));
         assert!(DataplaneError::DuplicateEndpoint { name: "x".into() }
             .to_string()
             .contains("already"));
@@ -776,6 +781,174 @@ mod tests {
             (0, 0),
             "flow path must not consult the AdmissionCache"
         );
+    }
+
+    /// Tentpole acceptance: a seeded failpoint panics the shard mid-delivery.
+    /// The supervisor restarts it, the interrupted delivery is evidenced as
+    /// lost (never silently dropped), the audit chain stays intact across the
+    /// re-anchor, and the accounting identity holds exactly after drain.
+    #[test]
+    fn shard_panic_restarts_worker_and_accounts_exactly() {
+        use legaliot_audit::{AuditEvent, AuditEventKind};
+        use std::time::Duration;
+
+        let registry = Arc::new(FailpointRegistry::new(42).with_spec(
+            FailpointSpec::on_hits(FailpointSite::ShardProcess, FaultKind::Panic, 3, 0).limit(1),
+        ));
+        let config = DataplaneConfig {
+            shards: 1,
+            restart_backoff: Duration::from_micros(100),
+            failpoints: Some(Arc::clone(&registry)),
+            ..DataplaneConfig::default()
+        };
+        let dataplane = two_pair_plane(config);
+        for t in 10..20 {
+            dataplane.publish("a", Timestamp(t)).unwrap();
+        }
+        dataplane.drain();
+        assert_eq!(registry.fired(FailpointSite::ShardProcess), 1);
+        let stats = dataplane.stats();
+        assert_eq!(stats.shard_restarts, 1);
+        assert_eq!(stats.deliveries_lost, 1);
+        assert_eq!(stats.degraded_shards, 0);
+        assert_eq!(stats.delivered, 9);
+        assert_eq!(
+            stats.published,
+            stats.delivered + stats.denied + stats.missing_endpoint + stats.deliveries_lost,
+            "accounting identity must hold exactly after drain"
+        );
+        // The restart and loss counters reach the exposition surface.
+        let exposition = dataplane.telemetry().exposition();
+        assert_eq!(exposition.counter("shard_restarts"), Some(1));
+        assert_eq!(exposition.counter("deliveries_lost"), Some(1));
+        assert_eq!(exposition.gauge("degraded_shards"), Some(0));
+
+        let report = dataplane.shutdown();
+        assert!(report.worker_panics.is_empty(), "the panic was supervised, not escaped");
+        let log = &report.shard_audit[0];
+        assert!(log.verify_chain().is_intact(), "chain must re-anchor across the restart");
+        assert_eq!(log.of_kind(AuditEventKind::ShardRestarted).count(), 1);
+        let lost_total: u64 = report
+            .merged_timeline()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                AuditEvent::DeliveryLost {
+                    lost, ref source, ref destination, ref cause, ..
+                } => {
+                    assert_eq!((source.as_str(), destination.as_str()), ("a", "b"));
+                    assert!(cause.contains("failpoint"), "cause carries the panic payload");
+                    Some(lost)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(lost_total, 1, "exactly the crashed delivery is evidenced lost");
+    }
+
+    /// A panic during the mailbox hand-off is the at-most-once edge: the
+    /// delivery was already enforced and counted, so the abandoned push is
+    /// evidenced as lost without re-counting it anywhere.
+    #[test]
+    fn hand_off_panic_is_evidenced_without_double_counting() {
+        use legaliot_audit::AuditEvent;
+        use std::time::Duration;
+
+        let registry = Arc::new(FailpointRegistry::new(1).with_spec(
+            FailpointSpec::on_hits(FailpointSite::MailboxHandOff, FaultKind::Panic, 2, 0).limit(1),
+        ));
+        let config = DataplaneConfig {
+            shards: 1,
+            restart_backoff: Duration::from_micros(100),
+            failpoints: Some(Arc::clone(&registry)),
+            ..DataplaneConfig::default()
+        };
+        let dataplane = two_pair_plane(config);
+        dataplane.register_schema(reading_schema()).unwrap();
+        let receiver = dataplane.open_subscriber("b").unwrap();
+        for t in 10..15 {
+            dataplane.publish_message("a", &reading_message(), Timestamp(t)).unwrap();
+        }
+        dataplane.drain();
+        let stats = dataplane.stats();
+        assert_eq!(stats.shard_restarts, 1);
+        assert_eq!(stats.delivered, 5, "enforcement completed before the hand-off crashed");
+        assert_eq!(stats.deliveries_lost, 0, "hand-off losses are evidence, not a re-count");
+        assert_eq!(receiver.drain().len(), 4, "the abandoned hand-off never arrived");
+
+        let report = dataplane.shutdown();
+        let hand_off_losses: Vec<_> = report
+            .merged_timeline()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                AuditEvent::DeliveryLost { lost, ref message_type, ref cause, .. } => {
+                    assert!(cause.contains("mailbox hand-off abandoned"));
+                    assert_eq!(message_type.as_deref(), Some("reading"));
+                    Some(lost)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hand_off_losses, vec![1]);
+        assert!(report.shard_audit[0].verify_chain().is_intact());
+    }
+
+    /// Once a shard exhausts its restart budget it degrades instead of crash
+    /// looping: publishes routed to it fail fast with `ShardUnavailable`
+    /// (no hang), the degradation is visible in stats/telemetry, and shutdown
+    /// still completes with an intact, restart-evidenced chain.
+    #[test]
+    fn restart_budget_exhaustion_degrades_the_shard() {
+        use legaliot_audit::AuditEventKind;
+        use std::time::Duration;
+
+        let registry = Arc::new(FailpointRegistry::new(7).with_spec(FailpointSpec::on_hits(
+            FailpointSite::ShardLoop,
+            FaultKind::Panic,
+            0,
+            1,
+        )));
+        let config = DataplaneConfig {
+            shards: 1,
+            restart_budget: 2,
+            restart_backoff: Duration::from_micros(50),
+            failpoints: Some(registry),
+            ..DataplaneConfig::default()
+        };
+        let dataplane = two_pair_plane(config);
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while dataplane.stats().degraded_shards == 0 {
+            assert!(std::time::Instant::now() < deadline, "shard never degraded");
+            std::thread::yield_now();
+        }
+        let stats = dataplane.stats();
+        assert_eq!(stats.shard_restarts, 2, "every budgeted restart was attempted first");
+        assert_eq!(stats.degraded_shards, 1);
+        assert_eq!(
+            dataplane.publish("a", Timestamp(10)),
+            Err(DataplaneError::ShardUnavailable { shard: 0 })
+        );
+        // A rejected publish enqueues (and counts) nothing, so the accounting
+        // identity is untouched and drain has nothing to wait for.
+        dataplane.drain();
+        assert_eq!(dataplane.telemetry().exposition().gauge("degraded_shards"), Some(1));
+        let report = dataplane.shutdown();
+        assert!(report.worker_panics.is_empty());
+        let log = &report.shard_audit[0];
+        assert_eq!(log.of_kind(AuditEventKind::ShardRestarted).count(), 2);
+        assert!(log.verify_chain().is_intact());
+    }
+
+    /// Shutdown (and Drop) must reap a worker whose panic escaped supervision
+    /// without re-panicking: the payload is captured in the report instead.
+    /// The rendering helper is the piece unit-testable in isolation.
+    #[test]
+    fn panic_payloads_render_for_reports() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(crate::shard::panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(crate::shard::panic_message(payload.as_ref()), "kaboom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(77u32);
+        assert_eq!(crate::shard::panic_message(payload.as_ref()), "<non-string panic payload>");
     }
 
     /// Enabled telemetry attributes every allowed delivery across the pipeline

@@ -21,18 +21,20 @@
 //! mode (the measured baseline) the body is a deep-cloned [`Message`] quenched by map
 //! clone.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
-use legaliot_context::{ContextSnapshot, Timestamp};
+use legaliot_context::{ContextSnapshot, ContextStore, Timestamp};
 use legaliot_ifc::{can_flow, context_hash64, DecisionCache, FlowDecision, SecurityContext};
 use legaliot_middleware::admission::AdmissionCache;
 use legaliot_middleware::{encoded_payload_len, FrozenMessage, Message, MessageType, Operation};
 
 use crate::engine::{AuditDetail, DataplaneConfig, Directory, Endpoint, SharedState};
+use crate::failpoint::{self, FailpointSite};
 use crate::queue::BoundedQueue;
 use crate::subscriber::{MailboxPush, ReceivedMessage};
 use crate::telemetry::{DeliveryProbe, ShardTelemetry, Stage};
@@ -61,6 +63,15 @@ impl DeliveryBody {
         match self {
             DeliveryBody::Frozen(message) => message.extra_context(),
             DeliveryBody::Cloned(message) => &message.context,
+        }
+    }
+
+    /// The cheapest handle on this body's message type that can still name it
+    /// in loss evidence (an `Arc` bump in zero-copy mode).
+    fn lost_type(&self) -> LostType {
+        match self {
+            DeliveryBody::Frozen(message) => LostType::Frozen(Arc::clone(message)),
+            DeliveryBody::Cloned(message) => LostType::Named(message.message_type.clone()),
         }
     }
 }
@@ -113,6 +124,15 @@ pub(crate) struct ShardCounters {
     pub payload_bytes: AtomicU64,
     pub receiver_enqueued: AtomicU64,
     pub receiver_dropped: AtomicU64,
+    /// Times this shard's worker panicked and was restarted by its supervisor.
+    pub restarts: AtomicU64,
+    /// Accepted deliveries abandoned by a crash or a degraded shard, each
+    /// evidenced as an [`AuditEvent::DeliveryLost`] record — never silent.
+    pub lost: AtomicU64,
+    /// Set once the restart budget is exhausted: the shard only evidences and
+    /// discards from then on, and publishers routed to it fail fast with
+    /// `ShardUnavailable` instead of enqueueing work that cannot be enforced.
+    pub degraded: AtomicBool,
     /// Tasks pushed but not yet fully processed (drain watches this reach zero).
     pub in_flight: AtomicU64,
 }
@@ -164,8 +184,11 @@ struct PairSummary {
     last_millis: u64,
 }
 
-/// Counter deltas accumulated over one pop batch, flushed in one go.
-#[derive(Debug, Default)]
+/// Counter deltas accumulated over one pop batch, flushed in one go. `Copy` so
+/// the supervisor can snapshot it before each unit of work and restore the
+/// snapshot if the unit panics half-way — a crashed delivery then contributes
+/// exactly one `lost`, and nothing else, to the accounting identity.
+#[derive(Debug, Default, Clone, Copy)]
 struct BatchCounters {
     delivered: u64,
     denied: u64,
@@ -178,6 +201,7 @@ struct BatchCounters {
     payload_bytes: u64,
     receiver_enqueued: u64,
     receiver_dropped: u64,
+    lost: u64,
 }
 
 /// A mailbox hand-off prepared under the directory read lock but performed only
@@ -191,6 +215,99 @@ struct PendingHandOff {
     to: Arc<str>,
     at_millis: u64,
     item: ReceivedMessage,
+}
+
+/// The message type of a delivery that may need loss evidence, held as cheaply
+/// as possible until the evidence actually needs the string.
+enum LostType {
+    Frozen(Arc<FrozenMessage>),
+    Named(MessageType),
+}
+
+impl LostType {
+    fn name(&self) -> String {
+        match self {
+            LostType::Frozen(message) => message.message_type().to_string(),
+            LostType::Named(message_type) => message_type.to_string(),
+        }
+    }
+}
+
+/// What the supervisor knows about the unit of work currently being processed,
+/// captured before dispatch so a panic mid-unit can be evidenced as a loss
+/// (never a silent drop).
+struct InFlight {
+    /// `false`: a queued [`ShardTask::Deliver`] (a loss here was never
+    /// enforced or counted). `true`: a deferred mailbox hand-off (the delivery
+    /// was already enforced and counted `delivered`; only the receiver-side
+    /// hand-off is abandoned, so the loss is evidenced but not re-counted).
+    hand_off: bool,
+    from: Arc<str>,
+    to: Arc<str>,
+    at_millis: u64,
+    message_type: Option<LostType>,
+}
+
+/// Cross-restart batch progress, owned by the supervisor (it lives *outside*
+/// the `catch_unwind` closure): everything needed to resume — or, once the
+/// restart budget is exhausted, to evidence and abandon — the in-flight batch
+/// after a worker panic. `in_flight` stays held for the whole batch across any
+/// number of restarts, so `drain` never observes a half-processed batch as
+/// done.
+struct BatchProgress {
+    /// The popped batch; processed slots are left as inert tombstones
+    /// (`Invalidate { context_hash: 0 }`) so a restart can never re-run a
+    /// completed task.
+    batch: Vec<ShardTask>,
+    /// First unprocessed task in `batch`.
+    cursor: usize,
+    /// Hand-offs prepared under the directory lock, performed (from the front)
+    /// after it is released.
+    pending: VecDeque<PendingHandOff>,
+    local: BatchCounters,
+    /// Tasks popped for the active batch; `in_flight` is decremented by this
+    /// once the batch fully completes (or is abandoned).
+    popped: u64,
+    /// Whether a popped batch is mid-processing (a restart then resumes it
+    /// instead of popping a new one).
+    active: bool,
+    shutdown: bool,
+    /// Timestamp of the most recent task, for restart evidence.
+    last_millis: u64,
+    /// The unit being processed, if its loss can be evidenced.
+    unit: Option<InFlight>,
+    /// Counter snapshot taken before the in-flight unit, restored on panic so
+    /// a half-processed unit contributes nothing but its `lost`.
+    saved_counters: BatchCounters,
+    /// `pending` length before the in-flight unit (partial pushes of a crashed
+    /// delivery are truncated away on restore).
+    saved_pending: usize,
+}
+
+impl BatchProgress {
+    fn new() -> Self {
+        BatchProgress {
+            batch: Vec::with_capacity(POP_BATCH),
+            cursor: 0,
+            pending: VecDeque::new(),
+            local: BatchCounters::default(),
+            popped: 0,
+            active: false,
+            shutdown: false,
+            last_millis: 0,
+            unit: None,
+            saved_counters: BatchCounters::default(),
+            saved_pending: 0,
+        }
+    }
+
+    /// Marks a freshly popped batch as the active one.
+    fn begin(&mut self) {
+        self.cursor = 0;
+        self.popped = self.batch.len() as u64;
+        self.local = BatchCounters::default();
+        self.active = true;
+    }
 }
 
 /// The worker-private enforcement state threaded through delivery processing.
@@ -211,127 +328,88 @@ struct WorkerState {
 /// Maximum tasks drained from the ingress queue per lock acquisition.
 const POP_BATCH: usize = 256;
 
-/// The worker loop for shard `index`. Runs until a [`ShardTask::Shutdown`] arrives.
+/// Best-effort extraction of a panic payload's message (the two payload shapes
+/// `panic!` actually produces, then a marker for anything exotic).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The supervised worker for shard `index`. Runs until a
+/// [`ShardTask::Shutdown`] arrives.
+///
+/// The enforcement loop itself lives in [`worker_loop`]; this function is the
+/// supervisor around it. A panic anywhere inside the loop (injected by a
+/// [`failpoint`](crate::failpoint) or real) is caught instead of taking the
+/// dataplane down: the half-processed unit's counters are rolled back and the
+/// abandoned delivery is evidenced as an [`AuditEvent::DeliveryLost`] record,
+/// then the shard's derived state is rebuilt — decision caches cold, audit
+/// chain re-anchored on the last hash so verification still passes across the
+/// restart, with an [`AuditEvent::ShardRestarted`] record first after the
+/// re-anchor — and the same batch resumes where it left off, under a bounded
+/// restart budget with exponential backoff
+/// ([`DataplaneConfig::restart_budget`] /
+/// [`DataplaneConfig::restart_backoff`]). Once the budget is exhausted the
+/// shard degrades: everything already accepted is evidenced as lost,
+/// publishers routed here fail fast with `ShardUnavailable`, and the worker
+/// keeps draining (and evidencing) its queue so `drain` and shutdown never
+/// hang on a dead shard.
 pub(crate) fn run_worker(
     index: usize,
     shared: Arc<SharedState>,
     config: DataplaneConfig,
 ) -> ShardReport {
     let store = Arc::clone(&shared.context_store);
-    let mut ac_cache = AdmissionCache::with_capacity(config.cache_capacity);
-    ac_cache.attach(&store);
-    let mut state = WorkerState {
-        cache: DecisionCache::with_capacity(config.cache_capacity),
-        ac_cache,
-        quench_cache: HashMap::new(),
-        snapshot: store.snapshot(),
-        appender: BatchedAppender::new(
-            format!("{}-shard-{index}", shared.name),
-            config.audit_batch,
-        )
-        .with_retention(config.audit_retention),
-        summaries: HashMap::new(),
-    };
-    let mut batch: Vec<ShardTask> = Vec::with_capacity(POP_BATCH);
-    let mut pending: Vec<PendingHandOff> = Vec::new();
-
-    let shard = &shared.shards[index];
-    let telemetry = &shard.telemetry;
-    let mut shutdown = false;
-    while !shutdown {
-        shard.queue.pop_batch(&mut batch, POP_BATCH);
-        let mut processed = 0u64;
-        let mut local = BatchCounters::default();
-        {
-            // One directory read-lock per batch; workers never block a publisher's
-            // blocked push while holding it (publishers push outside the lock too),
-            // and mailbox hand-offs — which may park this worker under the Block
-            // overflow policy — are collected here and performed after the lock is
-            // released, so a full mailbox never wedges control-plane writers.
-            let directory = if batch.iter().any(|t| matches!(t, ShardTask::Deliver { .. })) {
-                // Directory-lock wait is a contention series: one sample per batch,
-                // so a writer-heavy control plane shows up as a fat tail here.
-                if telemetry.enabled() {
-                    let requested = Instant::now();
-                    let guard = shared.directory.read();
-                    telemetry.record_ns(Stage::DirLockWait, requested.elapsed().as_nanos() as u64);
-                    Some(guard)
+    let authority = format!("{}-shard-{index}", shared.name);
+    let appender = BatchedAppender::new(authority.clone(), config.audit_batch)
+        .with_retention(config.audit_retention);
+    let mut state = WorkerState::fresh(&store, &config, appender);
+    let mut progress = BatchProgress::new();
+    let mut restarts: u32 = 0;
+    loop {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(index, &shared, &config, &store, &mut state, &mut progress);
+        }));
+        match outcome {
+            Ok(()) => break,
+            Err(payload) => {
+                let cause = panic_message(payload.as_ref());
+                recover_unit(&mut state, &mut progress, &cause);
+                let shard = &shared.shards[index];
+                if restarts < config.restart_budget {
+                    restarts += 1;
+                    shard.counters.restarts.fetch_add(1, Ordering::Relaxed);
+                    // Exponential backoff, capped: a crash-looping shard backs
+                    // off without stalling drain for long.
+                    let exponent = (restarts - 1).min(6);
+                    std::thread::sleep(config.restart_backoff.saturating_mul(1u32 << exponent));
+                    rebuild_state(&mut state, &store, &config);
+                    state.appender.append(
+                        AuditEvent::ShardRestarted {
+                            shard: authority.clone(),
+                            restart: u64::from(restarts),
+                            cause,
+                        },
+                        progress.last_millis,
+                    );
                 } else {
-                    Some(shared.directory.read())
-                }
-            } else {
-                None
-            };
-            // Payload deliveries evaluate contextual AC: invalidate AC entries whose
-            // keys changed, then refresh the enforcement-time context view, once per
-            // batch (no-op version checks when the store has not moved). The order is
-            // load-bearing: sync consumes the subscription's change feed, so it must
-            // run *before* the snapshot refresh — a write landing in between is then
-            // seen by the snapshot but not yet consumed, and the next sync
-            // conservatively drops the entries it touched. The reverse order could
-            // consume a change and then cache decisions from an older snapshot,
-            // leaving a stale decision nothing ever invalidates.
-            if batch.iter().any(|t| matches!(t, ShardTask::Deliver { body: Some(_), .. })) {
-                let directory = directory.as_deref().expect("payload implies delivery");
-                state.ac_cache.sync(&store, &directory.access);
-                if let Some(fresh) = store.snapshot_if_newer(state.snapshot.version()) {
-                    state.snapshot = fresh;
-                }
-            }
-            for task in batch.drain(..) {
-                processed += 1;
-                match task {
-                    ShardTask::Deliver { from, to, at_millis, enqueued_ns, body } => {
-                        let probe = DeliveryProbe::begin(telemetry, shared.epoch, enqueued_ns);
-                        process_delivery(
-                            directory.as_deref().expect("lock held when batch has deliveries"),
-                            &config,
-                            &mut state,
-                            &mut local,
-                            &mut pending,
-                            probe,
-                            from,
-                            to,
-                            at_millis,
-                            body,
-                        );
+                    // Budget exhausted: degrade. Set the flag first so
+                    // publishers start failing fast, then evidence everything
+                    // already accepted and keep draining until Shutdown.
+                    shard.counters.degraded.store(true, Ordering::SeqCst);
+                    abandon_progress(&mut state, &mut progress, shard);
+                    if !progress.shutdown {
+                        reject_until_shutdown(&mut state, shard, &mut progress);
                     }
-                    ShardTask::Invalidate { context_hash } => {
-                        state.cache.invalidate_context(context_hash);
-                        state.quench_cache.retain(|(_, dst_hash), _| *dst_hash != context_hash);
-                    }
-                    ShardTask::Shutdown => {
-                        shutdown = true;
-                    }
-                    #[cfg(test)]
-                    ShardTask::Block(barrier) => {
-                        barrier.wait();
-                    }
+                    break;
                 }
             }
         }
-        // Directory lock released: hand enforced deliveries to their mailboxes. A
-        // Block-policy push may park here until the consumer drains (or the mailbox
-        // closes) — `in_flight` is still held, so `drain`/`publish` observe the
-        // backpressure, while `deregister`/`set_context` remain free to run (and to
-        // close the mailbox, which unparks us).
-        for hand_off in pending.drain(..) {
-            complete_hand_off(&config, &mut state, &mut local, telemetry, hand_off);
-        }
-        let counters = &shard.counters;
-        counters.delivered.fetch_add(local.delivered, Ordering::Relaxed);
-        counters.denied.fetch_add(local.denied, Ordering::Relaxed);
-        counters.missing_endpoint.fetch_add(local.missing_endpoint, Ordering::Relaxed);
-        counters.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
-        counters.cache_misses.fetch_add(local.cache_misses, Ordering::Relaxed);
-        counters.ac_cache_hits.fetch_add(local.ac_cache_hits, Ordering::Relaxed);
-        counters.ac_cache_misses.fetch_add(local.ac_cache_misses, Ordering::Relaxed);
-        counters.quenched.fetch_add(local.quenched, Ordering::Relaxed);
-        counters.payload_bytes.fetch_add(local.payload_bytes, Ordering::Relaxed);
-        counters.receiver_enqueued.fetch_add(local.receiver_enqueued, Ordering::Relaxed);
-        counters.receiver_dropped.fetch_add(local.receiver_dropped, Ordering::Relaxed);
-        // Last: drain() may only observe zero once every effect above is visible.
-        counters.in_flight.fetch_sub(processed, Ordering::SeqCst);
     }
 
     // Emit one FlowSummary per pair (deterministic order for reproducible chains),
@@ -367,10 +445,394 @@ pub(crate) fn run_worker(
             );
         }
     }
+    // The worker is done with the store; drop its subscription so a store that
+    // outlives the dataplane (`with_context_store`) is not pinned by dead cursors.
+    state.ac_cache.detach(&store);
     ShardReport {
         audit: state.appender.into_log(),
         cache_stats: state.cache.stats(),
         ac_cache_stats: state.ac_cache.stats(),
+    }
+}
+
+impl WorkerState {
+    /// Builds the worker's derived state from scratch around the given audit
+    /// appender (fresh at spawn; chain-carrying at restart).
+    fn fresh(
+        store: &Arc<ContextStore>,
+        config: &DataplaneConfig,
+        appender: BatchedAppender,
+    ) -> Self {
+        let mut ac_cache = AdmissionCache::with_capacity(config.cache_capacity);
+        ac_cache.attach(store);
+        WorkerState {
+            cache: DecisionCache::with_capacity(config.cache_capacity),
+            ac_cache,
+            quench_cache: HashMap::new(),
+            snapshot: store.snapshot(),
+            appender,
+            summaries: HashMap::new(),
+        }
+    }
+}
+
+/// Rebuilds the worker's derived state after a panic: decision caches cold
+/// (stale entries from the crashed incarnation can never be trusted), a fresh
+/// context snapshot, and the audit chain carried forward —
+/// [`BatchedAppender::over`] re-anchors on the existing log's last hash, so
+/// `verify_chain` still passes across the restart. Pair summaries survive: they
+/// are evidence aggregation, not derived cache state, and dropping them would
+/// lose already-counted checks from the shutdown `FlowSummary` records.
+fn rebuild_state(state: &mut WorkerState, store: &Arc<ContextStore>, config: &DataplaneConfig) {
+    let appender = std::mem::replace(&mut state.appender, BatchedAppender::new(String::new(), 1));
+    state.appender = BatchedAppender::over(appender.into_log(), config.audit_batch)
+        .with_retention(config.audit_retention);
+    state.cache = DecisionCache::with_capacity(config.cache_capacity);
+    let mut ac_cache = AdmissionCache::with_capacity(config.cache_capacity);
+    ac_cache.attach(store);
+    // Release the crashed incarnation's store subscription before dropping it:
+    // an abandoned cursor would pin the store's change-history compaction (and
+    // so its memory) for the rest of the store's life.
+    state.ac_cache.detach(store);
+    state.ac_cache = ac_cache;
+    state.quench_cache.clear();
+    state.snapshot = store.snapshot();
+}
+
+/// Rolls back the effects of a panicked unit of work and evidences its loss.
+///
+/// The counter snapshot restore plus the single `lost` increment is what keeps
+/// the accounting identity exact: a crashed delivery contributes either its
+/// full set of effects (if it completed) or exactly one `lost` (if it did
+/// not), never a partial mixture. A panicked *hand-off* is the at-most-once
+/// edge: its delivery was already enforced and counted, so the abandoned push
+/// is evidenced but not re-counted.
+fn recover_unit(state: &mut WorkerState, progress: &mut BatchProgress, cause: &str) {
+    if !progress.active {
+        // Panicked between batches (the `shard.loop` site): nothing in flight.
+        return;
+    }
+    progress.local = progress.saved_counters;
+    progress.pending.truncate(progress.saved_pending);
+    if let Some(unit) = progress.unit.take() {
+        let message_type = unit.message_type.as_ref().map(LostType::name);
+        if unit.hand_off {
+            state.appender.append(
+                AuditEvent::DeliveryLost {
+                    source: unit.from.to_string(),
+                    destination: unit.to.to_string(),
+                    message_type,
+                    lost: 1,
+                    cause: format!("mailbox hand-off abandoned: {cause}"),
+                },
+                unit.at_millis,
+            );
+        } else {
+            progress.local.lost += 1;
+            state.appender.append(
+                AuditEvent::DeliveryLost {
+                    source: unit.from.to_string(),
+                    destination: unit.to.to_string(),
+                    message_type,
+                    lost: 1,
+                    cause: cause.to_string(),
+                },
+                unit.at_millis,
+            );
+            // Skip the poisoned task on resume.
+            progress.cursor += 1;
+        }
+    }
+    // `unit == None`: the panic hit batch scanning or a non-delivery task.
+    // The cursor stays put — the slot holds at worst an inert tombstone, so
+    // re-running it is a no-op, and no delivery was lost.
+}
+
+/// The enforcement loop proper. Panics propagate to the supervisor in
+/// [`run_worker`]; all resumable state lives in `progress`/`state`, which the
+/// supervisor owns.
+fn worker_loop(
+    index: usize,
+    shared: &Arc<SharedState>,
+    config: &DataplaneConfig,
+    store: &Arc<ContextStore>,
+    state: &mut WorkerState,
+    progress: &mut BatchProgress,
+) {
+    let shard = &shared.shards[index];
+    loop {
+        if !progress.active {
+            if progress.shutdown {
+                return;
+            }
+            failpoint::inject(&config.failpoints, FailpointSite::ShardLoop);
+            shard.queue.pop_batch(&mut progress.batch, POP_BATCH);
+            progress.begin();
+        }
+        run_batch(shared, config, store, state, progress, shard);
+        flush_batch(shard, progress);
+        if progress.shutdown {
+            return;
+        }
+    }
+}
+
+/// Processes (or, after a restart, resumes) the active batch: the task loop
+/// under one directory read lock, then the deferred mailbox hand-offs with the
+/// lock released.
+fn run_batch(
+    shared: &Arc<SharedState>,
+    config: &DataplaneConfig,
+    store: &Arc<ContextStore>,
+    state: &mut WorkerState,
+    progress: &mut BatchProgress,
+    shard: &ShardState,
+) {
+    let telemetry = &shard.telemetry;
+    {
+        // One directory read-lock per batch; workers never block a publisher's
+        // blocked push while holding it (publishers push outside the lock too),
+        // and mailbox hand-offs — which may park this worker under the Block
+        // overflow policy — are collected here and performed after the lock is
+        // released, so a full mailbox never wedges control-plane writers.
+        let remaining = &progress.batch[progress.cursor..];
+        let has_deliver = remaining.iter().any(|t| matches!(t, ShardTask::Deliver { .. }));
+        let has_payload =
+            remaining.iter().any(|t| matches!(t, ShardTask::Deliver { body: Some(_), .. }));
+        let directory = if has_deliver {
+            // Directory-lock wait is a contention series: one sample per batch,
+            // so a writer-heavy control plane shows up as a fat tail here.
+            if telemetry.enabled() {
+                let requested = Instant::now();
+                let guard = shared.directory.read();
+                telemetry.record_ns(Stage::DirLockWait, requested.elapsed().as_nanos() as u64);
+                Some(guard)
+            } else {
+                Some(shared.directory.read())
+            }
+        } else {
+            None
+        };
+        // Payload deliveries evaluate contextual AC: invalidate AC entries whose
+        // keys changed, then refresh the enforcement-time context view, once per
+        // batch (no-op version checks when the store has not moved). The order is
+        // load-bearing: sync consumes the subscription's change feed, so it must
+        // run *before* the snapshot refresh — a write landing in between is then
+        // seen by the snapshot but not yet consumed, and the next sync
+        // conservatively drops the entries it touched. The reverse order could
+        // consume a change and then cache decisions from an older snapshot,
+        // leaving a stale decision nothing ever invalidates.
+        if has_payload {
+            let directory = directory.as_deref().expect("payload implies delivery");
+            state.ac_cache.sync(store, &directory.access);
+            if let Some(fresh) = store.snapshot_if_newer(state.snapshot.version()) {
+                state.snapshot = fresh;
+            }
+        }
+        while progress.cursor < progress.batch.len() {
+            // Take the task out, leaving an inert tombstone — a panic mid-task
+            // can then never re-run (or silently discard) queued work: the
+            // supervisor resumes from `cursor`, and the crashed task itself is
+            // evidenced from the `unit` descriptor captured below.
+            let task = std::mem::replace(
+                &mut progress.batch[progress.cursor],
+                ShardTask::Invalidate { context_hash: 0 },
+            );
+            progress.saved_counters = progress.local;
+            progress.saved_pending = progress.pending.len();
+            match task {
+                ShardTask::Deliver { from, to, at_millis, enqueued_ns, body } => {
+                    progress.last_millis = at_millis;
+                    progress.unit = Some(InFlight {
+                        hand_off: false,
+                        from: Arc::clone(&from),
+                        to: Arc::clone(&to),
+                        at_millis,
+                        message_type: body.as_ref().map(DeliveryBody::lost_type),
+                    });
+                    let probe = DeliveryProbe::begin(telemetry, shared.epoch, enqueued_ns);
+                    process_delivery(
+                        directory.as_deref().expect("lock held when batch has deliveries"),
+                        config,
+                        state,
+                        &mut progress.local,
+                        &mut progress.pending,
+                        probe,
+                        from,
+                        to,
+                        at_millis,
+                        body,
+                    );
+                }
+                ShardTask::Invalidate { context_hash } => {
+                    state.cache.invalidate_context(context_hash);
+                    state.quench_cache.retain(|(_, dst_hash), _| *dst_hash != context_hash);
+                }
+                ShardTask::Shutdown => {
+                    progress.shutdown = true;
+                }
+                #[cfg(test)]
+                ShardTask::Block(barrier) => {
+                    barrier.wait();
+                }
+            }
+            progress.unit = None;
+            progress.cursor += 1;
+        }
+        // Every slot is a tombstone now; reset for the next pop.
+        progress.batch.clear();
+        progress.cursor = 0;
+    }
+    // Directory lock released: hand enforced deliveries to their mailboxes. A
+    // Block-policy push may park here until the consumer drains (or the mailbox
+    // closes) — `in_flight` is still held, so `drain`/`publish` observe the
+    // backpressure, while `deregister`/`set_context` remain free to run (and to
+    // close the mailbox, which unparks us).
+    loop {
+        progress.saved_counters = progress.local;
+        progress.saved_pending = progress.pending.len();
+        let Some(hand_off) = progress.pending.pop_front() else { break };
+        progress.unit = Some(InFlight {
+            hand_off: true,
+            from: Arc::clone(&hand_off.from),
+            to: Arc::clone(&hand_off.to),
+            at_millis: hand_off.at_millis,
+            message_type: Some(received_lost_type(&hand_off.item)),
+        });
+        complete_hand_off(config, state, &mut progress.local, telemetry, hand_off);
+        progress.unit = None;
+    }
+}
+
+/// The cheapest handle on an enforced delivery's message type, for hand-off
+/// loss evidence.
+fn received_lost_type(item: &ReceivedMessage) -> LostType {
+    match item {
+        ReceivedMessage::Frozen(message) => LostType::Frozen(Arc::clone(message)),
+        ReceivedMessage::Thawed(message) => LostType::Named(message.message_type.clone()),
+    }
+}
+
+/// Flushes the completed batch's counters and releases its `in_flight` hold.
+fn flush_batch(shard: &ShardState, progress: &mut BatchProgress) {
+    let counters = &shard.counters;
+    let local = &progress.local;
+    counters.delivered.fetch_add(local.delivered, Ordering::Relaxed);
+    counters.denied.fetch_add(local.denied, Ordering::Relaxed);
+    counters.missing_endpoint.fetch_add(local.missing_endpoint, Ordering::Relaxed);
+    counters.cache_hits.fetch_add(local.cache_hits, Ordering::Relaxed);
+    counters.cache_misses.fetch_add(local.cache_misses, Ordering::Relaxed);
+    counters.ac_cache_hits.fetch_add(local.ac_cache_hits, Ordering::Relaxed);
+    counters.ac_cache_misses.fetch_add(local.ac_cache_misses, Ordering::Relaxed);
+    counters.quenched.fetch_add(local.quenched, Ordering::Relaxed);
+    counters.payload_bytes.fetch_add(local.payload_bytes, Ordering::Relaxed);
+    counters.receiver_enqueued.fetch_add(local.receiver_enqueued, Ordering::Relaxed);
+    counters.receiver_dropped.fetch_add(local.receiver_dropped, Ordering::Relaxed);
+    counters.lost.fetch_add(local.lost, Ordering::Relaxed);
+    // Last: drain() may only observe zero once every effect above is visible.
+    counters.in_flight.fetch_sub(progress.popped, Ordering::SeqCst);
+    progress.active = false;
+    progress.popped = 0;
+}
+
+/// Degraded-mode turn-down of the active batch: every remaining task and
+/// prepared hand-off is evidenced as lost (never silently dropped), then the
+/// batch's counters are flushed and its `in_flight` hold released so `drain`
+/// completes.
+fn abandon_progress(state: &mut WorkerState, progress: &mut BatchProgress, shard: &ShardState) {
+    if !progress.active {
+        return;
+    }
+    const CAUSE: &str = "shard degraded: restart budget exhausted";
+    while progress.cursor < progress.batch.len() {
+        let task = std::mem::replace(
+            &mut progress.batch[progress.cursor],
+            ShardTask::Invalidate { context_hash: 0 },
+        );
+        match task {
+            ShardTask::Deliver { from, to, at_millis, body, .. } => {
+                progress.local.lost += 1;
+                state.appender.append(
+                    AuditEvent::DeliveryLost {
+                        source: from.to_string(),
+                        destination: to.to_string(),
+                        message_type: body.as_ref().map(|b| b.message_type().to_string()),
+                        lost: 1,
+                        cause: CAUSE.to_string(),
+                    },
+                    at_millis,
+                );
+            }
+            ShardTask::Invalidate { .. } => {}
+            ShardTask::Shutdown => progress.shutdown = true,
+            #[cfg(test)]
+            ShardTask::Block(barrier) => {
+                barrier.wait();
+            }
+        }
+        progress.cursor += 1;
+    }
+    progress.batch.clear();
+    progress.cursor = 0;
+    while let Some(hand_off) = progress.pending.pop_front() {
+        // Already enforced and counted delivered; evidence the abandoned
+        // receiver-side hand-off without re-counting it.
+        state.appender.append(
+            AuditEvent::DeliveryLost {
+                source: hand_off.from.to_string(),
+                destination: hand_off.to.to_string(),
+                message_type: Some(received_lost_type(&hand_off.item).name()),
+                lost: 1,
+                cause: format!("mailbox hand-off abandoned: {CAUSE}"),
+            },
+            hand_off.at_millis,
+        );
+    }
+    flush_batch(shard, progress);
+}
+
+/// The degraded shard's terminal loop: keep popping so publishers that raced
+/// the degraded flag — and control-plane broadcasts — are drained (deliveries
+/// evidenced as lost, their `in_flight` released) until Shutdown arrives.
+/// Without this, `drain()` and `shutdown()` would hang on a dead shard.
+fn reject_until_shutdown(
+    state: &mut WorkerState,
+    shard: &ShardState,
+    progress: &mut BatchProgress,
+) {
+    const CAUSE: &str = "shard degraded: restart budget exhausted";
+    loop {
+        shard.queue.pop_batch(&mut progress.batch, POP_BATCH);
+        let popped = progress.batch.len() as u64;
+        let mut lost = 0u64;
+        for task in progress.batch.drain(..) {
+            match task {
+                ShardTask::Deliver { from, to, at_millis, body, .. } => {
+                    lost += 1;
+                    state.appender.append(
+                        AuditEvent::DeliveryLost {
+                            source: from.to_string(),
+                            destination: to.to_string(),
+                            message_type: body.as_ref().map(|b| b.message_type().to_string()),
+                            lost: 1,
+                            cause: CAUSE.to_string(),
+                        },
+                        at_millis,
+                    );
+                }
+                ShardTask::Invalidate { .. } => {}
+                ShardTask::Shutdown => progress.shutdown = true,
+                #[cfg(test)]
+                ShardTask::Block(barrier) => {
+                    barrier.wait();
+                }
+            }
+        }
+        shard.counters.lost.fetch_add(lost, Ordering::Relaxed);
+        shard.counters.in_flight.fetch_sub(popped, Ordering::SeqCst);
+        if progress.shutdown {
+            return;
+        }
     }
 }
 
@@ -397,13 +859,14 @@ fn process_delivery(
     config: &DataplaneConfig,
     state: &mut WorkerState,
     local: &mut BatchCounters,
-    pending: &mut Vec<PendingHandOff>,
+    pending: &mut VecDeque<PendingHandOff>,
     mut probe: DeliveryProbe<'_>,
     from: Arc<str>,
     to: Arc<str>,
     at_millis: u64,
     body: Option<DeliveryBody>,
 ) {
+    failpoint::inject(&config.failpoints, FailpointSite::ShardProcess);
     // Read both endpoints' *current* contexts: a message is always judged against the
     // state of the world at enforcement time, so an entity's context change is in force
     // for every message behind it in the queue (§8.2.2 re-evaluation).
@@ -519,6 +982,7 @@ fn process_delivery(
         AuditDetail::Summarised => denied || !hit,
     };
     if full_record {
+        failpoint::inject(&config.failpoints, FailpointSite::AuditAppend);
         state.appender.append(
             AuditEvent::FlowChecked {
                 source: from.to_string(),
@@ -572,7 +1036,7 @@ fn deliver_payload(
     config: &DataplaneConfig,
     state: &mut WorkerState,
     local: &mut BatchCounters,
-    pending: &mut Vec<PendingHandOff>,
+    pending: &mut VecDeque<PendingHandOff>,
     probe: &mut DeliveryProbe<'_>,
     from: &Arc<str>,
     to: &Arc<str>,
@@ -632,7 +1096,7 @@ fn deliver_payload(
                 } else {
                     ReceivedMessage::Frozen(Arc::new(message.quench(mask)))
                 };
-                pending.push(PendingHandOff {
+                pending.push_back(PendingHandOff {
                     mailbox: Arc::clone(mailbox),
                     from: Arc::clone(from),
                     to: Arc::clone(to),
@@ -681,7 +1145,7 @@ fn deliver_payload(
             }
             if let Some(mailbox) = mailbox {
                 let body = delivered.take().expect("kept for the mailbox");
-                pending.push(PendingHandOff {
+                pending.push_back(PendingHandOff {
                     mailbox: Arc::clone(mailbox),
                     from: Arc::clone(from),
                     to: Arc::clone(to),
@@ -708,6 +1172,7 @@ fn complete_hand_off(
     telemetry: &ShardTelemetry,
     hand_off: PendingHandOff,
 ) {
+    failpoint::inject(&config.failpoints, FailpointSite::MailboxHandOff);
     let PendingHandOff { mailbox, from, to, at_millis, item } = hand_off;
     // The hand-off span is the whole push (including any Block stall); the stall
     // histogram additionally isolates just the parked portion, one sample per push

@@ -287,7 +287,10 @@ impl TelemetrySnapshot {
     /// Flattens the snapshot into named metrics for exposition.
     ///
     /// Naming scheme (stable): [`DataplaneStats`] fields become counters under their
-    /// field names; merged stage histograms are `stage.<name>` and per-shard ones
+    /// field names — including the fault-tolerance counters `shard_restarts` and
+    /// `deliveries_lost`, with `degraded_shards` exposed as a gauge (it is a level,
+    /// the number of shards currently past their restart budget, not a monotone
+    /// count); merged stage histograms are `stage.<name>` and per-shard ones
     /// `shard<i>.stage.<name>`; queue contention appears as the counters
     /// `queue_consumer_parks` / `queue_producer_waits` (summed) plus per-shard
     /// variants, and the `queue_depth_hwm` gauge (max, plus per-shard variants).
@@ -305,6 +308,9 @@ impl TelemetrySnapshot {
         out.record_counter("payload_bytes", self.stats.payload_bytes);
         out.record_counter("receiver_enqueued", self.stats.receiver_enqueued);
         out.record_counter("receiver_dropped", self.stats.receiver_dropped);
+        out.record_counter("shard_restarts", self.stats.shard_restarts);
+        out.record_counter("deliveries_lost", self.stats.deliveries_lost);
+        out.record_gauge("degraded_shards", self.stats.degraded_shards);
         let merged = self.merged();
         out.record_counter("queue_consumer_parks", merged.queue_consumer_parks);
         out.record_counter("queue_producer_waits", merged.queue_producer_waits);

@@ -98,6 +98,14 @@ impl AdmissionCache {
         self.cache.attach(store);
     }
 
+    /// Releases the store subscription taken by [`Self::attach`]. Must be called
+    /// before discarding an attached cache: an abandoned subscription cursor pins
+    /// the store's change-history compaction under a retention bound (see
+    /// [`AcDecisionCache::detach`]).
+    pub fn detach(&mut self, store: &ContextStore) {
+        self.cache.detach(store);
+    }
+
     /// Brings the cache up to date: clears it when the regime's rule set changed, and
     /// drops entries whose referenced context keys changed in the store. Returns how
     /// many entries were dropped.

@@ -129,6 +129,17 @@ impl<V> AcDecisionCache<V> {
         self.seen_version = store.version();
     }
 
+    /// Releases the store subscription taken by [`Self::attach`]. An attached cache
+    /// that is simply dropped leaves its cursor behind in the store, and under a
+    /// retention bound ([`ContextStore::set_retention`]) an abandoned cursor pins
+    /// change-history compaction forever — so owners discarding an attached cache
+    /// (e.g. when rebuilding a shard's state after a panic) must detach it first.
+    pub fn detach(&mut self, store: &ContextStore) {
+        if let Some(id) = self.subscription.take() {
+            store.unsubscribe(id);
+        }
+    }
+
     /// Brings the cache up to date with the store: a no-op (one read-locked version
     /// check) when nothing changed; otherwise polls the subscription and drops every
     /// entry referencing a changed key. Returns how many entries were invalidated.
@@ -326,6 +337,27 @@ mod tests {
         store.set("anything", 1i64, Timestamp(1));
         assert_eq!(cache.sync(&store), 2);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn detach_releases_the_store_cursor_so_retention_can_compact() {
+        let store = ContextStore::with_retention(2);
+        let mut cache: AcDecisionCache<bool> = AcDecisionCache::new();
+        cache.attach(&store);
+        for i in 0..10u64 {
+            store.set("k", i as i64, Timestamp(i));
+        }
+        // The never-synced cache's cursor pins the whole history.
+        assert_eq!(store.history().len(), 10);
+        cache.detach(&store);
+        assert!(store.history().len() <= 2);
+        // After detach, sync falls back to the conservative full clear.
+        cache.insert(1, true, ["k"]);
+        store.set("other", 1i64, Timestamp(11));
+        assert_eq!(cache.sync(&store), 1);
+        assert!(cache.is_empty());
+        // Detaching twice (or while never attached) is a no-op.
+        cache.detach(&store);
     }
 
     #[test]

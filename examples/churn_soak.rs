@@ -1,0 +1,251 @@
+//! Churn soak: a seeded fault-injection run against the sharded dataplane.
+//!
+//! A publisher thread streams payload messages through a small pub/sub topology
+//! while a churn thread registers and deregisters endpoints, flips security
+//! contexts and context keys, and toggles a break-glass override — all with a
+//! deterministic failpoint schedule injecting mid-batch shard panics, delays
+//! and queue-full backpressure. The run then prints the fault-tolerance
+//! report: supervised restarts, evidenced losses, the exact accounting
+//! identity, and per-shard audit-chain verification across restarts.
+//!
+//! Run with: `cargo run --release --example churn_soak [-- SEED [SHARDS [PUBLISHES]]]`
+//! (defaults: seed 1, 2 shards, 20,000 publish calls). The same seed replays
+//! the same churn decisions and fault schedule.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use legaliot::context::{ContextStore, Timestamp};
+use legaliot::dataplane::{
+    Dataplane, DataplaneConfig, FailpointRegistry, FailpointSite, FailpointSpec, FaultKind,
+    OverflowPolicy,
+};
+use legaliot::ifc::{Label, SecurityContext};
+use legaliot::middleware::{
+    AccessRule, AttributeKind, AttributeValue, Component, Message, MessageSchema, Operation,
+    Principal, Subject,
+};
+use legaliot::policy::Condition;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn endpoint(name: &str, secrecy: &[&str]) -> Component {
+    Component::builder(name, Principal::new("owner"))
+        .context(SecurityContext::from_names(secrecy.iter().copied(), Vec::<&str>::new()))
+        .build()
+}
+
+/// Admit while the load is nominal, or whenever the emergency override is on.
+fn sink_rule() -> AccessRule {
+    AccessRule::allow(Subject::Anyone, Operation::Send, None)
+        .when(Condition::number_below("load", 120.0).or(Condition::is_true("emergency.active")))
+}
+
+const PUBLISHERS: [&str; 2] = ["pub-0", "pub-1"];
+const SINKS: [&str; 3] = ["sink-0", "sink-1", "sink-2"];
+
+fn main() {
+    let mut args = std::env::args().skip(1).filter_map(|arg| arg.parse::<u64>().ok());
+    let seed = args.next().unwrap_or(1);
+    let shards = args.next().unwrap_or(2) as usize;
+    let publishes = args.next().unwrap_or(20_000);
+    println!("legaliot churn soak: seed={seed} shards={shards} publishes={publishes}");
+
+    // Deterministic fault schedule: one guaranteed recurring mid-batch panic
+    // spec plus seeded probabilistic delays, hand-off crashes and injected
+    // ingress queue-full. The total possible panics stay far below the restart
+    // budget, so the run exercises restarts, never degradation.
+    let registry = Arc::new(
+        FailpointRegistry::new(seed)
+            .with_spec(
+                FailpointSpec::on_hits(FailpointSite::ShardProcess, FaultKind::Panic, 50, 1_501)
+                    .limit(8),
+            )
+            .with_spec(FailpointSpec::with_probability(
+                FailpointSite::ShardProcess,
+                FaultKind::Delay(Duration::from_micros(20)),
+                0.001,
+            ))
+            .with_spec(
+                FailpointSpec::with_probability(
+                    FailpointSite::AuditAppend,
+                    FaultKind::Panic,
+                    0.005,
+                )
+                .limit(3),
+            )
+            .with_spec(FailpointSpec::with_probability(
+                FailpointSite::IngressEnqueue,
+                FaultKind::QueueFull,
+                0.001,
+            )),
+    );
+
+    let store = Arc::new(ContextStore::with_retention(256));
+    store.set("load", 80i64, Timestamp(0));
+    store.set("emergency.active", false, Timestamp(0));
+
+    let config = DataplaneConfig {
+        shards,
+        overflow: OverflowPolicy::DropOldest,
+        mailbox_capacity: 64,
+        failpoints: Some(Arc::clone(&registry)),
+        restart_budget: 64,
+        restart_backoff: Duration::from_micros(200),
+        ..DataplaneConfig::default()
+    };
+    let dataplane =
+        Arc::new(Dataplane::with_context_store("churn-soak", config, Arc::clone(&store)));
+    let schema = MessageSchema::new("reading")
+        .attribute("value", AttributeKind::Float)
+        .sensitive_attribute("subject", AttributeKind::Text, Label::from_names(["secret-id"]));
+    dataplane.register_schema(schema).unwrap();
+    let snapshot = store.snapshot();
+    for name in PUBLISHERS {
+        dataplane.register(endpoint(name, &["t"])).unwrap();
+    }
+    for name in SINKS {
+        dataplane.register(endpoint(name, &["t", "sink"])).unwrap();
+        dataplane.with_access(|access| {
+            access.add_rule(name, sink_rule());
+        });
+    }
+    for publisher in PUBLISHERS {
+        for sink in SINKS {
+            assert!(dataplane
+                .subscribe(publisher, sink, &snapshot, Timestamp(1))
+                .unwrap()
+                .is_delivered());
+        }
+    }
+
+    let clock = Arc::new(AtomicU64::new(10));
+    let stop_churn = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    let publisher_thread = {
+        let dataplane = Arc::clone(&dataplane);
+        let clock = Arc::clone(&clock);
+        std::thread::spawn(move || {
+            let message = Message::new("reading", SecurityContext::public())
+                .with("value", AttributeValue::Float(72.0))
+                .with("subject", AttributeValue::Text("ann".into()));
+            for i in 0..publishes {
+                let publisher = PUBLISHERS[(i % PUBLISHERS.len() as u64) as usize];
+                let now = Timestamp(clock.fetch_add(1, Ordering::Relaxed));
+                // Errors (injected queue-full, racing deregisters) are the point.
+                let _ = dataplane.publish_message(publisher, &message, now);
+                if i % 512 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let churn_thread = {
+        let dataplane = Arc::clone(&dataplane);
+        let store = Arc::clone(&store);
+        let clock = Arc::clone(&clock);
+        let stop = Arc::clone(&stop_churn);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+            let mut ephemeral: Vec<String> = Vec::new();
+            let mut minted = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let now = Timestamp(clock.fetch_add(1, Ordering::Relaxed));
+                match rng.gen_range(0u32..100) {
+                    0..=24 => {
+                        let name = format!("eph-{minted}");
+                        minted += 1;
+                        if dataplane.register(endpoint(&name, &["t", "sink"])).is_ok() {
+                            dataplane.with_access(|access| {
+                                access.add_rule(&name, sink_rule());
+                            });
+                            let snapshot = store.snapshot();
+                            let publisher = PUBLISHERS[rng.gen_range(0..PUBLISHERS.len())];
+                            let _ = dataplane.subscribe(publisher, &name, &snapshot, now);
+                            ephemeral.push(name);
+                        }
+                    }
+                    25..=44 => {
+                        if !ephemeral.is_empty() {
+                            let index = rng.gen_range(0..ephemeral.len());
+                            let _ = dataplane.deregister(&ephemeral.swap_remove(index));
+                        }
+                    }
+                    45..=64 => {
+                        let load: i64 = if rng.gen_bool(0.5) { 80 } else { 150 };
+                        store.set("load", load, now);
+                    }
+                    65..=79 => {
+                        store.set("emergency.active", rng.gen_bool(0.5), now);
+                    }
+                    80..=89 => {
+                        let sink = SINKS[rng.gen_range(0..SINKS.len())];
+                        let secrecy: Vec<&str> = if rng.gen_bool(0.5) {
+                            vec!["t", "sink"]
+                        } else {
+                            vec!["t", "sink", "secret-id"]
+                        };
+                        let _ = dataplane.set_context(
+                            sink,
+                            SecurityContext::from_names(secrecy, Vec::<&str>::new()),
+                            now,
+                        );
+                    }
+                    _ => {
+                        let sink = SINKS[rng.gen_range(0..SINKS.len())];
+                        let _ = dataplane.set_isolated(sink, rng.gen_bool(0.5), now);
+                    }
+                }
+                if rng.gen_bool(0.2) {
+                    std::thread::yield_now();
+                }
+            }
+            for sink in SINKS {
+                let _ =
+                    dataplane.set_isolated(sink, false, Timestamp(clock.load(Ordering::Relaxed)));
+            }
+        })
+    };
+
+    publisher_thread.join().expect("publisher thread");
+    stop_churn.store(true, Ordering::Relaxed);
+    churn_thread.join().expect("churn thread");
+    dataplane.drain();
+    let elapsed = start.elapsed();
+
+    let stats = dataplane.stats();
+    let accounted = stats.delivered + stats.denied + stats.missing_endpoint + stats.deliveries_lost;
+    let dataplane = Arc::into_inner(dataplane).expect("all clones joined");
+    let report = dataplane.shutdown();
+    let chains_intact = report.shard_audit.iter().all(|log| log.verify_chain().is_intact())
+        && report.control_audit.verify_chain().is_intact();
+
+    println!(
+        "\n  {:.2}s: published {} → delivered {} + denied {} + missing {} + lost {}",
+        elapsed.as_secs_f64(),
+        stats.published,
+        stats.delivered,
+        stats.denied,
+        stats.missing_endpoint,
+        stats.deliveries_lost,
+    );
+    println!(
+        "  shard restarts {} (faults fired at shard.process: {}), degraded shards {}, unsupervised panics {}",
+        stats.shard_restarts,
+        registry.fired(FailpointSite::ShardProcess),
+        stats.degraded_shards,
+        report.worker_panics.len(),
+    );
+    println!(
+        "  accounting identity: {}  audit chains across restarts: {}  context history: {} entries",
+        if stats.published == accounted { "exact" } else { "VIOLATED" },
+        if chains_intact { "intact" } else { "BROKEN" },
+        store.history().len(),
+    );
+    if stats.published != accounted || !chains_intact || !report.worker_panics.is_empty() {
+        std::process::exit(1);
+    }
+}

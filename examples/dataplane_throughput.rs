@@ -16,10 +16,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use legaliot::context::{ContextSnapshot, Timestamp};
 use legaliot::dataplane::{
-    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, PayloadMode,
-    ShardTelemetrySnapshot, Stage, Topology,
+    smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, FailpointRegistry,
+    FailpointSite, FailpointSpec, FaultKind, PayloadMode, ShardTelemetrySnapshot, Stage, Topology,
 };
 use legaliot::middleware::Message;
 use legaliot::obs::ObsConfig;
@@ -179,6 +181,11 @@ struct ConfigResult {
     received_per_sec: f64,
     /// Merged per-shard stage telemetry captured after the drain.
     telemetry: ShardTelemetrySnapshot,
+    /// Fault-tolerance counters, recorded so CI can assert a normal bench run
+    /// never exercises the supervision path (all three must be zero here).
+    shard_restarts: u64,
+    deliveries_lost: u64,
+    degraded_shards: u64,
 }
 
 fn drive_flow(dataplane: &Dataplane, publishers: &[String], messages: u64) -> u64 {
@@ -333,6 +340,9 @@ fn run_topology(topology: &Topology, messages: u64) -> Vec<ConfigResult> {
             received,
             received_per_sec,
             telemetry: merged_telemetry,
+            shard_restarts: stats.shard_restarts,
+            deliveries_lost: stats.deliveries_lost,
+            degraded_shards: stats.degraded_shards,
         });
     }
     results
@@ -389,15 +399,67 @@ fn run_telemetry_overhead(topology: &Topology, messages: u64) -> (f64, f64) {
     (rates[0], rates[1])
 }
 
+/// Measures the cost of the failpoint probes: the 1-shard cached zero-copy payload
+/// configuration run back-to-back with `failpoints: None` (every probe is a single
+/// `Option` check) and with a registry installed whose only spec sits at an
+/// unreachable hit index, so each probe walks the registry's per-site spec list but
+/// never fires. Returns `(disabled_rate, armed_rate)` in msgs/s; the ratio should be
+/// indistinguishable from 1.0.
+fn run_failpoint_overhead(topology: &Topology, messages: u64) -> (f64, f64) {
+    let pairs = topology.publisher_messages();
+    let mut rates = [0.0f64; 2];
+    let armed = Arc::new(FailpointRegistry::new(0).with_spec(FailpointSpec::on_hits(
+        FailpointSite::ShardProcess,
+        FaultKind::Panic,
+        u64::MAX,
+        0,
+    )));
+    for (index, failpoints) in [None, Some(armed)].into_iter().enumerate() {
+        let config = DataplaneConfig {
+            shards: 1,
+            payload_mode: PayloadMode::ZeroCopy,
+            cache_decisions: true,
+            cache_ac_decisions: true,
+            audit_detail: AuditDetail::Summarised,
+            audit_batch: 1024,
+            audit_retention: Some(65_536),
+            failpoints,
+            ..DataplaneConfig::default()
+        };
+        let dataplane = Dataplane::new(topology.name.clone(), config);
+        topology
+            .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+            .expect("topology installs");
+        let start = Instant::now();
+        drive_payload(&dataplane, &pairs, messages);
+        dataplane.drain();
+        let elapsed = start.elapsed();
+        let stats = dataplane.stats();
+        dataplane.shutdown();
+        rates[index] = stats.published as f64 / elapsed.as_secs_f64();
+    }
+    println!(
+        "   failpoint overhead (1 shard, zero-copy, cached): off {:>10.0} msgs/s  armed-never-firing {:>10.0} msgs/s  ({:.1}% cost)",
+        rates[0],
+        rates[1],
+        (1.0 - rates[1] / rates[0]) * 100.0
+    );
+    (rates[0], rates[1])
+}
+
+/// One topology's full result set: name, per-config rows, the telemetry on/off
+/// overhead pair, and the failpoints none/armed overhead pair.
+type TopologyResults = (String, Vec<ConfigResult>, (f64, f64), (f64, f64));
+
 /// Renders the results as JSON by hand (stable key order, no dependencies) and writes
 /// them to `BENCH_dataplane.json` at the repo root.
-fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>, (f64, f64))]) {
+fn write_bench_json(messages: u64, all: &[TopologyResults]) {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"dataplane_throughput\",");
     let _ = writeln!(json, "  \"messages_per_config\": {messages},");
     json.push_str("  \"topologies\": {\n");
-    for (t_index, (name, results, overhead)) in all.iter().enumerate() {
+    for (t_index, (name, results, overhead, failpoint_overhead)) in all.iter().enumerate() {
         let _ = writeln!(json, "    \"{name}\": {{");
         json.push_str("      \"configs\": [\n");
         for (index, r) in results.iter().enumerate() {
@@ -425,6 +487,11 @@ fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>, (f64, f64)
                 writeln!(json, "          \"speedup_vs_baseline\": {:.3},", r.speedup_vs_baseline);
             let _ = writeln!(json, "          \"received\": {},", r.received);
             let _ = writeln!(json, "          \"received_per_sec\": {:.0},", r.received_per_sec);
+            // Fault-tolerance counters: a normal bench run injects no faults, so
+            // all three are expected to be zero (asserted by CI).
+            let _ = writeln!(json, "          \"shard_restarts\": {},", r.shard_restarts);
+            let _ = writeln!(json, "          \"deliveries_lost\": {},", r.deliveries_lost);
+            let _ = writeln!(json, "          \"degraded_shards\": {},", r.degraded_shards);
             // Delivery latency (enqueue → enforcement complete, ns) over every
             // delivered message, plus the per-stage breakdown attributing it.
             let _ = writeln!(json, "          \"latency_p50_ns\": {},", delivery.p50());
@@ -477,6 +544,17 @@ fn write_bench_json(messages: u64, all: &[(String, Vec<ConfigResult>, (f64, f64)
             if off_rate > 0.0 { on_rate / off_rate } else { 0.0 }
         );
         json.push_str("      },\n");
+        let (fp_off, fp_on) = *failpoint_overhead;
+        json.push_str("      \"failpoint_overhead\": {\n");
+        let _ = writeln!(json, "        \"config\": \"1 shard, payload zero-copy, cached\",");
+        let _ = writeln!(json, "        \"probes_disabled_msgs_per_sec\": {fp_off:.0},");
+        let _ = writeln!(json, "        \"registry_armed_msgs_per_sec\": {fp_on:.0},");
+        let _ = writeln!(
+            json,
+            "        \"armed_over_disabled\": {:.4}",
+            if fp_off > 0.0 { fp_on / fp_off } else { 0.0 }
+        );
+        json.push_str("      },\n");
         let clone_baseline = results
             .iter()
             .find(|r| r.label.contains("clone-each"))
@@ -518,6 +596,7 @@ fn main() {
         home.name.clone(),
         run_topology(&home, messages),
         run_telemetry_overhead(&home, messages),
+        run_failpoint_overhead(&home, messages),
     ));
     // Smart city: 4 districts × 8 sensors feeding gateways, analytics, anonymiser.
     let city = smart_city(4, 8);
@@ -525,6 +604,7 @@ fn main() {
         city.name.clone(),
         run_topology(&city, messages),
         run_telemetry_overhead(&city, messages),
+        run_failpoint_overhead(&city, messages),
     ));
 
     write_bench_json(messages, &all);

@@ -120,6 +120,59 @@ fn dataplane_throughput_entry_path() {
     }
 }
 
+/// `examples/churn_soak.rs`: a failpoint registry injects a supervised shard
+/// panic mid-run; the accounting identity stays exact, the restart is counted
+/// and evidenced, and every audit chain verifies across the restart.
+#[test]
+fn churn_soak_entry_path() {
+    use legaliot::audit::AuditEvent;
+    use legaliot::context::{ContextSnapshot, ContextStore, Timestamp};
+    use legaliot::dataplane::{
+        Dataplane, DataplaneConfig, FailpointRegistry, FailpointSite, FailpointSpec, FaultKind,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let registry = Arc::new(FailpointRegistry::new(9).with_spec(
+        FailpointSpec::on_hits(FailpointSite::ShardProcess, FaultKind::Panic, 5, 0).limit(1),
+    ));
+    let store = Arc::new(ContextStore::with_retention(64));
+    let config = DataplaneConfig {
+        shards: 1,
+        failpoints: Some(Arc::clone(&registry)),
+        restart_backoff: Duration::from_micros(100),
+        ..DataplaneConfig::default()
+    };
+    let dataplane = Dataplane::with_context_store("soak-smoke", config, store);
+    let topology = legaliot::dataplane::smart_home(2, 7);
+    topology
+        .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+        .expect("topology installs");
+    let pairs = topology.publisher_messages();
+    let mut clock = 2u64;
+    for _ in 0..40 {
+        for (publisher, message) in &pairs {
+            dataplane.publish_message(publisher, message, Timestamp(clock)).unwrap();
+            clock += 1;
+        }
+    }
+    dataplane.drain();
+    let stats = dataplane.stats();
+    assert_eq!(registry.fired(FailpointSite::ShardProcess), 1);
+    assert_eq!(stats.shard_restarts, 1);
+    assert_eq!(
+        stats.published,
+        stats.delivered + stats.denied + stats.missing_endpoint + stats.deliveries_lost
+    );
+    let report = dataplane.shutdown();
+    assert!(report.worker_panics.is_empty());
+    assert!(report.shard_audit.iter().all(|log| log.verify_chain().is_intact()));
+    assert!(report
+        .merged_timeline()
+        .iter()
+        .any(|record| matches!(record.event, AuditEvent::ShardRestarted { .. })));
+}
+
 fn dataplane_install(
     topology: &legaliot::dataplane::Topology,
     dataplane: &legaliot::dataplane::Dataplane,
