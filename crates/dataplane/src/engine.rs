@@ -503,6 +503,55 @@ impl Dataplane {
         Ok(())
     }
 
+    /// Registers a batch of components under a single directory write lock — the
+    /// bulk-loading path for generated fleets, where thousands of endpoints would
+    /// otherwise pay one lock round-trip each.
+    ///
+    /// All-or-nothing: the whole batch is checked (against the directory and for
+    /// duplicates within the batch) before anything is inserted, so an `Err`
+    /// registers no endpoint. Returns how many components were registered.
+    ///
+    /// # Errors
+    ///
+    /// [`DataplaneError::DuplicateEndpoint`] naming the first taken or repeated name.
+    pub fn register_bulk(
+        &self,
+        components: impl IntoIterator<Item = Component>,
+    ) -> Result<usize, DataplaneError> {
+        let prepared: Vec<(Arc<str>, usize, u64, Component)> = components
+            .into_iter()
+            .map(|component| {
+                let name: Arc<str> = Arc::from(component.name());
+                let shard = self.shard_of(&name);
+                let context_hash = context_hash64(component.context());
+                (name, shard, context_hash, component)
+            })
+            .collect();
+        let mut directory = self.shared.directory.write();
+        let mut batch_names = std::collections::HashSet::with_capacity(prepared.len());
+        for (name, _, _, _) in &prepared {
+            if directory.endpoints.contains_key(name) || !batch_names.insert(Arc::clone(name)) {
+                return Err(DataplaneError::DuplicateEndpoint { name: name.to_string() });
+            }
+        }
+        let registered = prepared.len();
+        directory.endpoints.reserve(registered);
+        for (name, shard, context_hash, component) in prepared {
+            directory.endpoints.insert(
+                name,
+                Endpoint {
+                    component,
+                    context_hash,
+                    shard,
+                    subscribers: Arc::new(Vec::new()),
+                    inbox: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+                    mailbox: None,
+                },
+            );
+        }
+        Ok(registered)
+    }
+
     /// Opens a streaming receiver for `name`: subsequent enforced (post-quench)
     /// payload deliveries to the endpoint are queued in a bounded mailbox
     /// ([`DataplaneConfig::mailbox_capacity`], [`DataplaneConfig::overflow`]) and

@@ -70,7 +70,9 @@ pub use subscriber::{
     OverflowPolicy, ReceivedMessage, RecvError, RecvTimeoutError, Subscriber, TryRecvError,
 };
 pub use telemetry::{ShardTelemetrySnapshot, Stage, TelemetrySnapshot};
-pub use topologies::{payload_schema, sample_message, smart_city, smart_home, Topology};
+pub use topologies::{
+    payload_schema, sample_message, smart_city, smart_home, Topology, TopologyBuilder,
+};
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@ use legaliot_context::{ContextSnapshot, Timestamp};
 use legaliot_ifc::{Label, SecurityContext};
 use legaliot_iot::{CityWorkload, HomeMonitoringWorkload, Thing};
 use legaliot_middleware::{
-    AttributeKind, AttributeValue, Component, Message, MessageSchema, MessageType, Principal,
+    AttributeKind, AttributeValue, Component, Message, MessageSchema, MessageType,
 };
 
 use crate::engine::{Dataplane, DataplaneError};
@@ -45,6 +45,55 @@ pub struct Topology {
     pub edges: Vec<(String, String)>,
 }
 
+/// Builds a [`Topology`] incrementally — the one conversion + wiring path shared
+/// by the hand-built adapters below and the `legaliot-fleet` generator, so
+/// hand-built and generated deployments register identically.
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    name: String,
+    components: Vec<Component>,
+    edges: Vec<(String, String)>,
+}
+
+impl TopologyBuilder {
+    /// Starts an empty topology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder { name: name.into(), components: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds a thing, converted via [`Thing::to_component`] (owner principal carries
+    /// the thing-kind role, context/node/produces/consumes preserved).
+    pub fn thing(mut self, thing: &Thing) -> Self {
+        self.components.push(thing.to_component());
+        self
+    }
+
+    /// Adds every thing of an iterator, in order.
+    pub fn things<'a>(mut self, things: impl IntoIterator<Item = &'a Thing>) -> Self {
+        for thing in things {
+            self.components.push(thing.to_component());
+        }
+        self
+    }
+
+    /// Adds an already-built component.
+    pub fn component(mut self, component: Component) -> Self {
+        self.components.push(component);
+        self
+    }
+
+    /// Adds a `publisher → subscriber` edge.
+    pub fn edge(mut self, publisher: impl Into<String>, subscriber: impl Into<String>) -> Self {
+        self.edges.push((publisher.into(), subscriber.into()));
+        self
+    }
+
+    /// Finishes the topology.
+    pub fn build(self) -> Topology {
+        Topology { name: self.name, components: self.components, edges: self.edges }
+    }
+}
+
 impl Topology {
     /// The names of components that publish (appear as an edge source) — the driver
     /// loop publishes from these.
@@ -67,10 +116,39 @@ impl Topology {
         snapshot: &ContextSnapshot,
         now: Timestamp,
     ) -> Result<usize, DataplaneError> {
+        self.register(dataplane)?;
         for component in &self.components {
-            dataplane.register(component.clone())?;
             dataplane.allow_sends_to(component.name());
         }
+        self.subscribe_edges(dataplane, snapshot, now)
+    }
+
+    /// Registers every component as an endpoint via [`Dataplane::register_bulk`]
+    /// (one directory lock for the whole batch), without touching access rules or
+    /// subscriptions — generated fleets install their own per-component policies
+    /// before wiring edges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates duplicate-endpoint errors; nothing is registered on `Err`.
+    pub fn register(&self, dataplane: &Dataplane) -> Result<(), DataplaneError> {
+        dataplane.register_bulk(self.components.iter().cloned())?;
+        Ok(())
+    }
+
+    /// Admission-checks and subscribes every edge, in order. Returns how many edges
+    /// were admitted (an edge refused by access control or IFC is an outcome, not an
+    /// error).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-endpoint subscription errors.
+    pub fn subscribe_edges(
+        &self,
+        dataplane: &Dataplane,
+        snapshot: &ContextSnapshot,
+        now: Timestamp,
+    ) -> Result<usize, DataplaneError> {
         let mut admitted = 0;
         for (publisher, subscriber) in &self.edges {
             if dataplane.subscribe(publisher, subscriber, snapshot, now)?.is_delivered() {
@@ -122,54 +200,39 @@ impl Topology {
     }
 }
 
-fn component_from_thing(thing: &Thing) -> Component {
-    let mut builder = Component::builder(thing.name.clone(), Principal::new(thing.owner.clone()))
-        .context(thing.context.clone())
-        .on_node(thing.node.clone());
-    for message_type in &thing.produces {
-        builder = builder.produces(message_type.as_str());
-    }
-    for message_type in &thing.consumes {
-        builder = builder.consumes(message_type.as_str());
-    }
-    builder.build()
-}
-
 /// The smart-home monitoring topology (Fig. 7) for `patients` patients: hospital-device
 /// sensors feed their analysers directly, third-party sensors go through the input
 /// sanitiser, and every analyser feeds the statistics generator.
 pub fn smart_home(patients: usize, seed: u64) -> Topology {
     let workload = HomeMonitoringWorkload::with_patients(patients.max(1), seed);
-    let components: Vec<Component> = workload.things().iter().map(component_from_thing).collect();
-    let mut edges = Vec::new();
+    let mut builder = TopologyBuilder::new("smart-home").things(workload.things().iter());
     for patient in &workload.patients {
         if patient.hospital_device {
-            edges.push((format!("{}-sensor", patient.name), format!("{}-analyser", patient.name)));
+            builder = builder
+                .edge(format!("{}-sensor", patient.name), format!("{}-analyser", patient.name));
         } else {
-            edges.push((format!("{}-sensor", patient.name), "input-sanitiser".to_string()));
+            builder = builder.edge(format!("{}-sensor", patient.name), "input-sanitiser");
         }
-        edges.push((format!("{}-analyser", patient.name), "stats-generator".to_string()));
+        builder = builder.edge(format!("{}-analyser", patient.name), "stats-generator");
     }
-    Topology { name: "smart-home".into(), components, edges }
+    builder.build()
 }
 
 /// The smart-city topology: per-district sensors feed their district gateway, gateways
 /// feed the council analytics service, analytics feeds the anonymiser.
 pub fn smart_city(districts: usize, sensors_per_district: usize) -> Topology {
     let workload = CityWorkload::new(districts.max(1), sensors_per_district.max(1));
-    let components: Vec<Component> = workload.things().iter().map(component_from_thing).collect();
-    let mut edges = Vec::new();
+    let mut builder = TopologyBuilder::new("smart-city").things(workload.things().iter());
     for district in 0..workload.districts {
         for sensor in 0..workload.sensors_per_district {
-            edges.push((
+            builder = builder.edge(
                 format!("district{district}-sensor{sensor}"),
                 format!("district{district}-gateway"),
-            ));
+            );
         }
-        edges.push((format!("district{district}-gateway"), "council-analytics".to_string()));
+        builder = builder.edge(format!("district{district}-gateway"), "council-analytics");
     }
-    edges.push(("council-analytics".to_string(), "city-anonymiser".to_string()));
-    Topology { name: "smart-city".into(), components, edges }
+    builder.edge("council-analytics", "city-anonymiser").build()
 }
 
 #[cfg(test)]

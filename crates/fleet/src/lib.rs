@@ -1,0 +1,139 @@
+//! # legaliot-fleet
+//!
+//! Seeded fleet generation and a model-based enforcement oracle, the scale
+//! harness for the dataplane: thousands of heterogeneous deployments (homes,
+//! hospital wards, vehicle fleets from the `legaliot-iot` catalog), each with
+//! its own endpoints, schemas, policies, secrecy labels and churn script —
+//! joins, leaves, context flips, policy updates, break-glass — plus a slow,
+//! obviously-correct reference ([`model::FleetModel`]) that computes exactly
+//! which subscriber must receive which post-quench message.
+//!
+//! The pieces compose differentially:
+//!
+//! * [`generate`] synthesizes a [`spec::Fleet`] from a seed — deterministic
+//!   down to the byte ([`spec::Fleet::manifest`]);
+//! * [`predict`] walks the fleet's script through the reference model and
+//!   returns the exact expected deliveries, denials and admission outcomes;
+//! * [`run_fleet`] installs and drives the same fleet on a real
+//!   [`legaliot_dataplane::Dataplane`] (any shard count, payload mode or
+//!   fault-injection registry) and returns what actually happened, keyed
+//!   identically.
+//!
+//! `tests/fleet_conformance.rs` at the workspace root asserts the two agree
+//! record-for-record at 1000+ deployments; any failure message carries the
+//! reproducing seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod harness;
+pub mod model;
+pub mod spec;
+
+pub use gen::generate;
+pub use harness::{run_fleet, LostDelivery, RunOutcome};
+pub use model::{predict, AdmissionOutcome, FleetModel, PredictedOutcome, Prediction};
+pub use spec::{
+    AttrSpec, CondSpec, ControlEvent, Deployment, Fleet, FleetConfig, KeyValue, PublishSpec, Round,
+    RuleSpec, SchemaSpec, SubjectSpec, ThingSpec,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legaliot_dataplane::DataplaneConfig;
+    use model::PredictedOutcome;
+
+    fn small_config(seed: u64) -> FleetConfig {
+        FleetConfig { seed, deployments: 40, rounds: 3 }
+    }
+
+    #[test]
+    fn same_seed_regenerates_byte_identical_fleet() {
+        let a = generate(small_config(7));
+        let b = generate(small_config(7));
+        assert_eq!(a.manifest(), b.manifest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_seed_predicts_identical_delivery_set() {
+        let fleet = generate(small_config(7));
+        let first = predict(&fleet);
+        let second = predict(&generate(small_config(7)));
+        assert_eq!(first.outcomes, second.outcomes);
+        assert_eq!(first.admissions, second.admissions);
+        assert_eq!(
+            (first.published, first.delivered, first.denied),
+            (second.published, second.delivered, second.denied)
+        );
+    }
+
+    #[test]
+    fn different_seeds_generate_materially_different_fleets() {
+        let a = generate(small_config(7));
+        let b = generate(small_config(8));
+        assert_ne!(a.manifest(), b.manifest());
+        let a_shape = (a.endpoint_count(), a.edge_count(), a.publish_count(), a.schema_diversity());
+        let b_shape = (b.endpoint_count(), b.edge_count(), b.publish_count(), b.schema_diversity());
+        assert_ne!(a_shape, b_shape, "seeds 7 and 8 must differ in fleet shape");
+        assert!(a.schema_diversity() > 1, "schemas must vary within one fleet");
+    }
+
+    #[test]
+    fn fleet_exercises_every_outcome_class() {
+        // The generated policy/label mix must produce admitted AND refused
+        // edges, delivered AND denied messages, and quenched attributes —
+        // otherwise conformance at scale proves less than it claims.
+        let fleet = generate(FleetConfig { seed: 11, deployments: 60, rounds: 4 });
+        let prediction = predict(&fleet);
+        assert!(prediction.delivered > 0, "no predicted deliveries");
+        assert!(prediction.denied > 0, "no predicted denials");
+        let admitted = prediction.admissions.iter().filter(|(_, _, o)| o.admitted()).count();
+        assert!(admitted > 0, "no admitted edges");
+        assert!(admitted < prediction.admissions.len(), "no refused edges");
+        let quenched = prediction.outcomes.values().any(|outcome| match outcome {
+            PredictedOutcome::Delivered(message) => !message.attributes.contains_key("subject-id"),
+            PredictedOutcome::Denied => false,
+        });
+        assert!(quenched, "no delivery with a quenched attribute");
+        let intact = prediction.outcomes.values().any(|outcome| match outcome {
+            PredictedOutcome::Delivered(message) => message.attributes.contains_key("subject-id"),
+            PredictedOutcome::Denied => false,
+        });
+        assert!(intact, "no delivery kept its sensitive attribute");
+    }
+
+    #[test]
+    fn small_fleet_conforms_end_to_end() {
+        // A quick in-crate differential check so oracle or harness regressions
+        // surface here before the workspace-level 1000-deployment suite runs.
+        let fleet = generate(FleetConfig { seed: 5, deployments: 12, rounds: 3 });
+        let prediction = predict(&fleet);
+        let outcome = run_fleet(&fleet, "fleet-smoke", DataplaneConfig::default())
+            .expect("fleet run succeeds");
+        assert_eq!(outcome.duplicate_deliveries, 0);
+        assert_eq!(outcome.stats.published, prediction.published);
+        assert_eq!(outcome.stats.delivered, prediction.delivered);
+        assert_eq!(outcome.stats.denied, prediction.denied);
+        assert_eq!(outcome.stats.missing_endpoint, 0);
+        assert_eq!(outcome.stats.deliveries_lost, 0);
+        assert!(outcome.chains_intact);
+        let expected: std::collections::BTreeMap<_, _> = prediction
+            .outcomes
+            .iter()
+            .filter_map(|(key, outcome)| match outcome {
+                PredictedOutcome::Delivered(message) => Some((key.clone(), (**message).clone())),
+                PredictedOutcome::Denied => None,
+            })
+            .collect();
+        assert_eq!(outcome.observed, expected);
+        let predicted_admissions: Vec<(String, String, bool)> = prediction
+            .admissions
+            .iter()
+            .map(|(from, to, outcome)| (from.clone(), to.clone(), outcome.admitted()))
+            .collect();
+        assert_eq!(outcome.admissions, predicted_admissions);
+    }
+}

@@ -9,13 +9,17 @@
 //! * [`workload`] — deterministic synthetic workloads: the medical home-monitoring
 //!   deployment of §7 (patients, hospital-issued and third-party devices, analysers,
 //!   statistics generation, emergencies) and a smart-city sensing workload, substituting
-//!   for the real deployments the paper envisions (see DESIGN.md).
+//!   for the real deployments the paper envisions (see DESIGN.md);
+//! * [`catalog`] — device/deployment archetype catalogs (homes, hospital wards,
+//!   vehicle fleets) that fleet generators instantiate into things at scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod things;
 pub mod workload;
 
+pub use catalog::{DeploymentKind, DeploymentProfile, DeviceArchetype, PROFILES};
 pub use things::{Chain, Thing, ThingKind};
 pub use workload::{CityWorkload, HomeMonitoringWorkload, Patient, SensorReading, WorkloadEvent};

@@ -8,9 +8,16 @@
 //! report: supervised restarts, evidenced losses, the exact accounting
 //! identity, and per-shard audit-chain verification across restarts.
 //!
-//! Run with: `cargo run --release --example churn_soak [-- SEED [SHARDS [PUBLISHES]]]`
-//! (defaults: seed 1, 2 shards, 20,000 publish calls). The same seed replays
-//! the same churn decisions and fault schedule.
+//! Run with: `cargo run --release --example churn_soak [-- SEED [SHARDS [PUBLISHES [FLEETS]]]]`
+//! (defaults: seed 1, 2 shards, 20,000 publish calls, 0 generated fleet
+//! deployments). Each knob also reads its environment variable when the
+//! positional argument is absent — `LEGALIOT_SOAK_SEED`, `LEGALIOT_SOAK_SHARDS`,
+//! `LEGALIOT_SOAK_PUBLISHES`, `LEGALIOT_SOAK_FLEETS` — so CI drives the same
+//! matrix as `tests/churn_soak.rs`. `FLEETS > 0` installs that many generated
+//! deployments (endpoints, schemas, policies, admitted edges) from the seeded
+//! `legaliot-fleet` generator as background population and replays their
+//! scripted publishes as extra load. The same seed replays the same churn
+//! decisions and fault schedule.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,8 +26,9 @@ use std::time::{Duration, Instant};
 use legaliot::context::{ContextStore, Timestamp};
 use legaliot::dataplane::{
     Dataplane, DataplaneConfig, FailpointRegistry, FailpointSite, FailpointSpec, FaultKind,
-    OverflowPolicy,
+    OverflowPolicy, TopologyBuilder,
 };
+use legaliot::fleet::{generate, FleetConfig};
 use legaliot::ifc::{Label, SecurityContext};
 use legaliot::middleware::{
     AccessRule, AttributeKind, AttributeValue, Component, Message, MessageSchema, Operation,
@@ -45,12 +53,77 @@ fn sink_rule() -> AccessRule {
 const PUBLISHERS: [&str; 2] = ["pub-0", "pub-1"];
 const SINKS: [&str; 3] = ["sink-0", "sink-1", "sink-2"];
 
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Installs `fleets` generated deployments as background population — things,
+/// schemas, policies and admitted edges all through the shared builder path —
+/// and replays their scripted publishes as extra load. Returns how many
+/// publish calls were made.
+fn install_generated_fleet(
+    dataplane: &Dataplane,
+    store: &ContextStore,
+    seed: u64,
+    fleets: usize,
+) -> u64 {
+    let fleet = generate(FleetConfig { seed, deployments: fleets, rounds: 1 });
+    for deployment in &fleet.deployments {
+        for (key, value) in &deployment.initial_keys {
+            store.set(key.as_str(), value.to_context_value(), Timestamp(1));
+        }
+    }
+    let mut builder = TopologyBuilder::new("soak-fleet");
+    for deployment in &fleet.deployments {
+        for thing in &deployment.things {
+            builder = builder.thing(&thing.to_thing());
+        }
+        for (from, to) in &deployment.edges {
+            builder = builder.edge(from.as_str(), to.as_str());
+        }
+    }
+    let topology = builder.build();
+    topology.register(dataplane).expect("fleet endpoints register");
+    let mut schemas = std::collections::BTreeMap::new();
+    for deployment in &fleet.deployments {
+        for schema in &deployment.schemas {
+            dataplane.register_schema(schema.to_schema()).expect("fleet schemas register");
+            schemas.insert(schema.message_type.clone(), schema.clone());
+        }
+    }
+    dataplane.with_access(|access| {
+        for deployment in &fleet.deployments {
+            for rule in &deployment.rules {
+                access.add_rule(rule.component.as_str(), rule.to_access_rule());
+            }
+        }
+    });
+    let snapshot = store.snapshot();
+    topology.subscribe_edges(dataplane, &snapshot, Timestamp(2)).expect("fleet edges subscribe");
+    let mut published = 0u64;
+    for round in &fleet.rounds {
+        for publish in &round.publishes {
+            let schema = &schemas[&publish.message_type];
+            let _ = dataplane.publish_message(
+                &publish.publisher,
+                &publish.message(schema),
+                Timestamp(publish.at_millis),
+            );
+            published += 1;
+        }
+    }
+    published
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).filter_map(|arg| arg.parse::<u64>().ok());
-    let seed = args.next().unwrap_or(1);
-    let shards = args.next().unwrap_or(2) as usize;
-    let publishes = args.next().unwrap_or(20_000);
-    println!("legaliot churn soak: seed={seed} shards={shards} publishes={publishes}");
+    let seed = args.next().unwrap_or_else(|| env_u64("LEGALIOT_SOAK_SEED", 1));
+    let shards = args.next().unwrap_or_else(|| env_u64("LEGALIOT_SOAK_SHARDS", 2)) as usize;
+    let publishes = args.next().unwrap_or_else(|| env_u64("LEGALIOT_SOAK_PUBLISHES", 20_000));
+    let fleets = args.next().unwrap_or_else(|| env_u64("LEGALIOT_SOAK_FLEETS", 0)) as usize;
+    println!(
+        "legaliot churn soak: seed={seed} shards={shards} publishes={publishes} fleets={fleets}"
+    );
 
     // Deterministic fault schedule: one guaranteed recurring mid-batch panic
     // spec plus seeded probabilistic delays, hand-off crashes and injected
@@ -118,6 +191,11 @@ fn main() {
                 .unwrap()
                 .is_delivered());
         }
+    }
+    let fleet_publishes =
+        if fleets > 0 { install_generated_fleet(&dataplane, &store, seed, fleets) } else { 0 };
+    if fleets > 0 {
+        println!("  generated fleet: {fleets} deployments, {fleet_publishes} replayed publishes");
     }
 
     let clock = Arc::new(AtomicU64::new(10));

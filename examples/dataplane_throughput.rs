@@ -8,10 +8,16 @@
 //! clone-per-delivery baseline (deep `Message` clone per subscriber, map-clone
 //! quenching, no caches).
 //!
-//! Run with: `cargo run --release --example dataplane_throughput [-- MESSAGES]`
-//! (default 1,000,000 messages per configuration per topology). Writes the results
-//! machine-readably to `BENCH_dataplane.json` at the repo root so CI can track the
-//! perf trajectory PR-over-PR.
+//! A fleet-scale section then installs a generated 1000-deployment fleet
+//! (homes, hospital wards, vehicle fleets from the seeded `legaliot-fleet`
+//! generator) through the same builder/bulk-registration path and replays its
+//! publish script, reporting sustained throughput and delivery latency
+//! percentiles at thousands of endpoints.
+//!
+//! Run with: `cargo run --release --example dataplane_throughput [-- MESSAGES [FLEET_DEPLOYMENTS]]`
+//! (default 1,000,000 messages per configuration per topology, 1000 generated
+//! deployments). Writes the results machine-readably to `BENCH_dataplane.json`
+//! at the repo root so CI can track the perf trajectory PR-over-PR.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,7 +28,9 @@ use legaliot::context::{ContextSnapshot, Timestamp};
 use legaliot::dataplane::{
     smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, FailpointRegistry,
     FailpointSite, FailpointSpec, FaultKind, PayloadMode, ShardTelemetrySnapshot, Stage, Topology,
+    TopologyBuilder,
 };
+use legaliot::fleet::{generate, FleetConfig};
 use legaliot::middleware::Message;
 use legaliot::obs::ObsConfig;
 
@@ -447,13 +455,145 @@ fn run_failpoint_overhead(topology: &Topology, messages: u64) -> (f64, f64) {
     (rates[0], rates[1])
 }
 
+/// The fleet-scale row: a generated heterogeneous fleet on the payload hot
+/// path, reported with its population so the rate is interpretable.
+struct FleetBenchResult {
+    seed: u64,
+    deployments: usize,
+    endpoints: usize,
+    edges: usize,
+    admitted_edges: usize,
+    shards: usize,
+    install_ms: f64,
+    msgs_per_sec: f64,
+    published: u64,
+    delivered: u64,
+    denied: u64,
+    telemetry: ShardTelemetrySnapshot,
+}
+
+/// Installs a generated `deployments`-strong fleet (endpoints, schemas,
+/// policies, admitted edges — all through the shared builder/bulk path) on the
+/// full payload dataplane configuration and replays its publish script until
+/// `messages` fan-out deliveries have been published.
+fn run_fleet_bench(seed: u64, deployments: usize, messages: u64) -> FleetBenchResult {
+    let fleet = generate(FleetConfig { seed, deployments, rounds: 1 });
+    let shards = 4;
+    let config = DataplaneConfig {
+        shards,
+        payload_mode: PayloadMode::ZeroCopy,
+        cache_decisions: true,
+        cache_ac_decisions: true,
+        audit_detail: AuditDetail::Summarised,
+        audit_batch: 1024,
+        audit_retention: Some(65_536),
+        ..DataplaneConfig::default()
+    };
+    let dataplane = Dataplane::new("generated-fleet", config);
+    let store = Arc::clone(dataplane.context_store());
+
+    let install_start = Instant::now();
+    for deployment in &fleet.deployments {
+        for (key, value) in &deployment.initial_keys {
+            store.set(key.as_str(), value.to_context_value(), Timestamp(0));
+        }
+    }
+    let mut builder = TopologyBuilder::new("generated-fleet");
+    for deployment in &fleet.deployments {
+        for thing in &deployment.things {
+            builder = builder.thing(&thing.to_thing());
+        }
+        for (from, to) in &deployment.edges {
+            builder = builder.edge(from.as_str(), to.as_str());
+        }
+    }
+    let topology = builder.build();
+    topology.register(&dataplane).expect("fleet endpoints register");
+    let mut schemas = std::collections::BTreeMap::new();
+    for deployment in &fleet.deployments {
+        for schema in &deployment.schemas {
+            dataplane.register_schema(schema.to_schema()).expect("fleet schemas register");
+            schemas.insert(schema.message_type.clone(), schema.clone());
+        }
+    }
+    dataplane.with_access(|access| {
+        for deployment in &fleet.deployments {
+            for rule in &deployment.rules {
+                access.add_rule(rule.component.as_str(), rule.to_access_rule());
+            }
+        }
+    });
+    let snapshot = store.snapshot();
+    let admitted_edges = topology
+        .subscribe_edges(&dataplane, &snapshot, Timestamp(1))
+        .expect("fleet edges subscribe");
+    let install_ms = install_start.elapsed().as_secs_f64() * 1e3;
+
+    // The scripted publishes become the replayed workload (fresh timestamps
+    // per call, as `drive_payload` stamps them).
+    let pairs: Vec<(String, Message)> = fleet
+        .rounds
+        .iter()
+        .flat_map(|round| round.publishes.iter())
+        .map(|publish| {
+            (publish.publisher.clone(), publish.message(&schemas[&publish.message_type]))
+        })
+        .collect();
+
+    let start = Instant::now();
+    drive_payload(&dataplane, &pairs, messages);
+    dataplane.drain();
+    let elapsed = start.elapsed();
+    let stats = dataplane.stats();
+    let telemetry = dataplane.telemetry().merged();
+    let report = dataplane.shutdown();
+    assert!(
+        report.shard_audit.iter().all(|log| log.verify_chain().is_intact()),
+        "fleet-scale audit chains stay tamper-evident"
+    );
+    let rate = stats.published as f64 / elapsed.as_secs_f64();
+    let delivery = telemetry.stage(Stage::Delivery);
+    println!("\n== generated fleet ==");
+    println!(
+        "   {} deployments, {} endpoints, {} edges ({} admitted), {shards} shards, install {install_ms:.1}ms",
+        fleet.deployments.len(),
+        fleet.endpoint_count(),
+        fleet.edge_count(),
+        admitted_edges,
+    );
+    println!(
+        "   {:<42} {:>10.0} msgs/s          delivered {} denied {} p50 {} p99 {} p999 {}",
+        format!("fleet seed {seed}, zero-copy, cached"),
+        rate,
+        stats.delivered,
+        stats.denied,
+        format_ns(delivery.p50()),
+        format_ns(delivery.p99()),
+        format_ns(delivery.p999()),
+    );
+    FleetBenchResult {
+        seed,
+        deployments: fleet.deployments.len(),
+        endpoints: fleet.endpoint_count(),
+        edges: fleet.edge_count(),
+        admitted_edges,
+        shards,
+        install_ms,
+        msgs_per_sec: rate,
+        published: stats.published,
+        delivered: stats.delivered,
+        denied: stats.denied,
+        telemetry,
+    }
+}
+
 /// One topology's full result set: name, per-config rows, the telemetry on/off
 /// overhead pair, and the failpoints none/armed overhead pair.
 type TopologyResults = (String, Vec<ConfigResult>, (f64, f64), (f64, f64));
 
 /// Renders the results as JSON by hand (stable key order, no dependencies) and writes
 /// them to `BENCH_dataplane.json` at the repo root.
-fn write_bench_json(messages: u64, all: &[TopologyResults]) {
+fn write_bench_json(messages: u64, all: &[TopologyResults], fleet: &FleetBenchResult) {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"dataplane_throughput\",");
@@ -573,6 +713,27 @@ fn write_bench_json(messages: u64, all: &[TopologyResults]) {
         );
         let _ = writeln!(json, "    }}{}", if t_index + 1 < all.len() { "," } else { "" });
     }
+    json.push_str("  },\n");
+    // Fleet-scale rows: the generated heterogeneous fleet on the payload hot
+    // path, with its population recorded so the rate is interpretable and CI
+    // can assert scale as well as speed.
+    let delivery = fleet.telemetry.stage(Stage::Delivery);
+    json.push_str("  \"fleet\": {\n");
+    let _ = writeln!(json, "    \"seed\": {},", fleet.seed);
+    let _ = writeln!(json, "    \"deployments\": {},", fleet.deployments);
+    let _ = writeln!(json, "    \"endpoints\": {},", fleet.endpoints);
+    let _ = writeln!(json, "    \"edges\": {},", fleet.edges);
+    let _ = writeln!(json, "    \"admitted_edges\": {},", fleet.admitted_edges);
+    let _ = writeln!(json, "    \"shards\": {},", fleet.shards);
+    let _ = writeln!(json, "    \"install_ms\": {:.1},", fleet.install_ms);
+    let _ = writeln!(json, "    \"msgs_per_sec\": {:.0},", fleet.msgs_per_sec);
+    let _ = writeln!(json, "    \"published\": {},", fleet.published);
+    let _ = writeln!(json, "    \"delivered\": {},", fleet.delivered);
+    let _ = writeln!(json, "    \"denied\": {},", fleet.denied);
+    let _ = writeln!(json, "    \"latency_p50_ns\": {},", delivery.p50());
+    let _ = writeln!(json, "    \"latency_p90_ns\": {},", delivery.p90());
+    let _ = writeln!(json, "    \"latency_p99_ns\": {},", delivery.p99());
+    let _ = writeln!(json, "    \"latency_p999_ns\": {}", delivery.p999());
     json.push_str("  }\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_dataplane.json");
@@ -583,6 +744,8 @@ fn write_bench_json(messages: u64, all: &[TopologyResults]) {
 fn main() {
     let messages: u64 =
         std::env::args().nth(1).and_then(|arg| arg.parse().ok()).unwrap_or(1_000_000);
+    let fleet_deployments: usize =
+        std::env::args().nth(2).and_then(|arg| arg.parse().ok()).unwrap_or(1000);
 
     println!(
         "legaliot dataplane throughput (cores available: {})",
@@ -607,5 +770,8 @@ fn main() {
         run_failpoint_overhead(&city, messages),
     ));
 
-    write_bench_json(messages, &all);
+    // Fleet scale: a generated heterogeneous fleet, same publish driver.
+    let fleet = run_fleet_bench(1, fleet_deployments, messages);
+
+    write_bench_json(messages, &all, &fleet);
 }

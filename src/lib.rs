@@ -25,6 +25,7 @@ pub use legaliot_compliance as compliance;
 pub use legaliot_context as context;
 pub use legaliot_core as core;
 pub use legaliot_dataplane as dataplane;
+pub use legaliot_fleet as fleet;
 pub use legaliot_ifc as ifc;
 pub use legaliot_iot as iot;
 pub use legaliot_kernel as kernel;

@@ -14,11 +14,14 @@
 //!    `deliveries_lost`.
 //!
 //! The run is reproducible from its seed (`LEGALIOT_SOAK_SEED`, default 1);
-//! the shard count (`LEGALIOT_SOAK_SHARDS`, default 2) and publish volume
-//! (`LEGALIOT_SOAK_PUBLISHES`, default 4000) are environment-tunable so CI can
-//! run a fixed-seed matrix. Cross-thread interleaving still varies run to run;
-//! what the seed pins is the churn decision sequence and the failpoint
-//! schedule, which is what the assertions depend on.
+//! the shard count (`LEGALIOT_SOAK_SHARDS`, default 2), publish volume
+//! (`LEGALIOT_SOAK_PUBLISHES`, default 4000) and generated-fleet background
+//! population (`LEGALIOT_SOAK_FLEETS`, default 0 — deployments installed from
+//! the seeded `legaliot-fleet` generator, with their scripted publishes
+//! replayed as extra load) are environment-tunable so CI can run a fixed-seed
+//! matrix. Cross-thread interleaving still varies run to run; what the seed
+//! pins is the churn decision sequence and the failpoint schedule, which is
+//! what the assertions depend on.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,8 +31,9 @@ use legaliot::audit::AuditEvent;
 use legaliot::context::{ContextSnapshot, ContextStore, Timestamp};
 use legaliot::dataplane::{
     Dataplane, DataplaneConfig, FailpointRegistry, FailpointSite, FailpointSpec, FaultKind,
-    OverflowPolicy, Subscriber,
+    OverflowPolicy, Subscriber, TopologyBuilder,
 };
+use legaliot::fleet::{generate, FleetConfig};
 use legaliot::ifc::{Label, SecurityContext};
 use legaliot::middleware::{
     AccessRule, AttributeKind, AttributeValue, Component, Message, MessageSchema, Operation,
@@ -89,11 +93,71 @@ fn sink_rule() -> AccessRule {
 const PUBLISHERS: [&str; 3] = ["pub-0", "pub-1", "pub-2"];
 const SINKS: [&str; 4] = ["sink-0", "sink-1", "sink-2", "sink-3"];
 
+/// Installs `fleets` generated deployments as background population — things,
+/// schemas, policies and admitted edges all through the shared builder path —
+/// and replays their scripted publishes as extra load. Returns how many
+/// publish calls were made (accepted or not; the identity is over what the
+/// dataplane itself counted).
+fn install_generated_fleet(
+    dataplane: &Dataplane,
+    store: &ContextStore,
+    seed: u64,
+    fleets: usize,
+) -> u64 {
+    let fleet = generate(FleetConfig { seed, deployments: fleets, rounds: 1 });
+    for deployment in &fleet.deployments {
+        for (key, value) in &deployment.initial_keys {
+            store.set(key.as_str(), value.to_context_value(), Timestamp(1));
+        }
+    }
+    let mut builder = TopologyBuilder::new("soak-fleet");
+    for deployment in &fleet.deployments {
+        for thing in &deployment.things {
+            builder = builder.thing(&thing.to_thing());
+        }
+        for (from, to) in &deployment.edges {
+            builder = builder.edge(from.as_str(), to.as_str());
+        }
+    }
+    let topology = builder.build();
+    topology.register(dataplane).expect("fleet endpoints register");
+    let mut schemas = std::collections::BTreeMap::new();
+    for deployment in &fleet.deployments {
+        for schema in &deployment.schemas {
+            dataplane.register_schema(schema.to_schema()).expect("fleet schemas register");
+            schemas.insert(schema.message_type.clone(), schema.clone());
+        }
+    }
+    dataplane.with_access(|access| {
+        for deployment in &fleet.deployments {
+            for rule in &deployment.rules {
+                access.add_rule(rule.component.as_str(), rule.to_access_rule());
+            }
+        }
+    });
+    let snapshot = store.snapshot();
+    topology.subscribe_edges(dataplane, &snapshot, Timestamp(2)).expect("fleet edges subscribe");
+    let mut published = 0u64;
+    for round in &fleet.rounds {
+        for publish in &round.publishes {
+            let schema = &schemas[&publish.message_type];
+            let _ = dataplane.publish_message(
+                &publish.publisher,
+                &publish.message(schema),
+                Timestamp(publish.at_millis),
+            );
+            published += 1;
+        }
+    }
+    published
+}
+
 #[test]
 fn churn_soak_with_injected_faults_keeps_the_accounting_exact() {
     let seed = env_u64("LEGALIOT_SOAK_SEED", 1);
     let shards = env_u64("LEGALIOT_SOAK_SHARDS", 2) as usize;
     let publishes = env_u64("LEGALIOT_SOAK_PUBLISHES", 4000);
+    let fleets = env_u64("LEGALIOT_SOAK_FLEETS", 0) as usize;
 
     let done = Arc::new(AtomicBool::new(false));
     watchdog("churn_soak", Duration::from_secs(240), Arc::clone(&done));
@@ -203,6 +267,12 @@ fn churn_soak_with_injected_faults_keeps_the_accounting_exact() {
             .unwrap()
             .is_delivered());
     }
+
+    // Optional generated-fleet background population: thousands of extra
+    // endpoints, schemas and policies sharing the shards with the hand-built
+    // topology, their scripted publishes replayed before the churn starts.
+    let fleet_publishes =
+        if fleets > 0 { install_generated_fleet(&dataplane, &store, seed, fleets) } else { 0 };
 
     // Simulated clock shared by every driver thread.
     let clock = Arc::new(AtomicU64::new(10));
@@ -421,8 +491,8 @@ fn churn_soak_with_injected_faults_keeps_the_accounting_exact() {
     drop(ephemeral);
     done.store(true, Ordering::Relaxed);
     println!(
-        "churn soak seed={seed} shards={shards}: published={} delivered={} denied={} \
-         missing={} lost={} restarts={} hand_off_losses={}",
+        "churn soak seed={seed} shards={shards} fleets={fleets} fleet_publishes={fleet_publishes}: \
+         published={} delivered={} denied={} missing={} lost={} restarts={} hand_off_losses={}",
         stats.published,
         stats.delivered,
         stats.denied,
