@@ -8,8 +8,18 @@
 //! for-byte identical to what unbatched recording would have produced. The cost of
 //! chaining is still paid per record, but off the hot path and in cache-friendly runs.
 
-use crate::event::AuditEvent;
+use std::fmt;
+
+use crate::event::{AuditEvent, AuditRecord};
 use crate::log::AuditLog;
+
+/// A callback receiving records at the moment retention prunes them out of the
+/// in-memory log — the last point at which they are observable. A persistence layer
+/// installs one to stream retained-out history to durable storage; because the sink
+/// runs *before* the records are discarded, no record can be both pruned and
+/// unpersisted. `Sync` is required so appenders can live behind shared locks; sinks
+/// are still only ever *called* under `&mut self`.
+pub type PruneSink = Box<dyn FnMut(&[AuditRecord]) + Send + Sync>;
 
 /// Buffers audit events and flushes them, in order, into an append-only hash-chained
 /// [`AuditLog`].
@@ -26,12 +36,24 @@ use crate::log::AuditLog;
 /// assert_eq!(log.len(), 1);
 /// assert!(log.verify_chain().is_intact());
 /// ```
-#[derive(Debug)]
 pub struct BatchedAppender {
     log: AuditLog,
     buffer: Vec<(AuditEvent, u64)>,
     capacity: usize,
     retention: Option<usize>,
+    prune_sink: Option<PruneSink>,
+}
+
+impl fmt::Debug for BatchedAppender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchedAppender")
+            .field("log", &self.log)
+            .field("buffered", &self.buffer.len())
+            .field("capacity", &self.capacity)
+            .field("retention", &self.retention)
+            .field("prune_sink", &self.prune_sink.is_some())
+            .finish()
+    }
 }
 
 impl BatchedAppender {
@@ -46,7 +68,13 @@ impl BatchedAppender {
     /// offload), preserving its chain anchor.
     pub fn over(log: AuditLog, capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        BatchedAppender { log, buffer: Vec::with_capacity(capacity), capacity, retention: None }
+        BatchedAppender {
+            log,
+            buffer: Vec::with_capacity(capacity),
+            capacity,
+            retention: None,
+            prune_sink: None,
+        }
     }
 
     /// Bounds in-memory retention: once the log exceeds `2 × keep` records after a
@@ -56,6 +84,29 @@ impl BatchedAppender {
     pub fn with_retention(mut self, keep: Option<usize>) -> Self {
         self.retention = keep.map(|k| k.max(1));
         self
+    }
+
+    /// Installs a [`PruneSink`] invoked with every record retention prunes out, at the
+    /// moment of pruning and in chain order — so a persistence layer sees each record
+    /// before it stops being observable.
+    pub fn with_prune_sink(
+        mut self,
+        sink: impl FnMut(&[AuditRecord]) + Send + Sync + 'static,
+    ) -> Self {
+        self.prune_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Removes and returns the installed prune sink, if any. Supervisors use this to
+    /// carry the sink across a shard restart (the log is rebuilt via [`Self::over`],
+    /// which starts without a sink).
+    pub fn take_prune_sink(&mut self) -> Option<PruneSink> {
+        self.prune_sink.take()
+    }
+
+    /// Installs (or replaces) the prune sink on an existing appender.
+    pub fn set_prune_sink(&mut self, sink: Option<PruneSink>) {
+        self.prune_sink = sink;
     }
 
     /// Stages an event; flushes the whole buffer into the log once `capacity` events
@@ -75,7 +126,13 @@ impl BatchedAppender {
         }
         if let Some(keep) = self.retention {
             if self.log.len() >= keep.saturating_mul(2) {
-                self.log.retain_recent(keep);
+                // Hand pruned records to the sink *before* they are dropped: the sink
+                // observing them here is what makes persistence loss-free by
+                // construction.
+                let (_, pruned) = self.log.retain_recent_taking(keep);
+                if let (Some(sink), false) = (self.prune_sink.as_mut(), pruned.is_empty()) {
+                    sink(&pruned);
+                }
             }
         }
     }
@@ -167,6 +224,42 @@ mod tests {
         assert!(log.verify_chain().is_intact());
         // The newest records survive.
         assert_eq!(log.records().last().unwrap().at_millis, 39);
+    }
+
+    #[test]
+    fn no_record_is_both_pruned_and_unpersisted() {
+        use std::sync::{Arc, Mutex};
+
+        let persisted: Arc<Mutex<Vec<crate::AuditRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_target = Arc::clone(&persisted);
+        let mut appender =
+            BatchedAppender::new("n", 4).with_retention(Some(6)).with_prune_sink(move |records| {
+                sink_target.lock().unwrap().extend(records.iter().cloned())
+            });
+        for n in 0..40 {
+            appender.append(event(n), n as u64);
+        }
+        let log = appender.into_log();
+        assert!(log.verify_chain().is_intact());
+
+        // Every record ever appended is observable somewhere: either it survived
+        // retention (still in the log) or the sink received it at prune time. The two
+        // sets are disjoint and their concatenation is the full chain from genesis.
+        let mut all = persisted.lock().unwrap().clone();
+        let sunk = all.len();
+        assert!(sunk > 0, "retention must have pruned something");
+        all.extend(log.records().iter().cloned());
+        assert_eq!(all.len(), 40, "pruned + retained must cover every appended record");
+        assert!(AuditLog::verify_records(0, &all).is_intact());
+        let ids: Vec<u64> = all.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn debug_shows_sink_presence_not_contents() {
+        let appender = BatchedAppender::new("n", 2).with_prune_sink(|_| {});
+        let s = format!("{appender:?}");
+        assert!(s.contains("prune_sink: true"));
     }
 
     #[test]

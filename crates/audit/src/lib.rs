@@ -16,7 +16,10 @@
 //!   offload support (Challenge 6: "When can logs safely be pruned? Can logs be
 //!   offloaded to others for distributed audit?");
 //! * [`ProvenanceGraph`] — the audit graph of Fig. 11 (data items, processes, agents)
-//!   built from the log, with ancestry/taint queries and DOT export.
+//!   built from the log, with ancestry/taint queries and DOT export;
+//! * [`SegmentStore`] — crash-safe on-disk segments for retained-out records, with
+//!   torn-write recovery ([`SegmentStore::recover`]) and pluggable IO fault injection,
+//!   so the tamper-evident chain survives pruning *and* process crashes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +28,13 @@ pub mod batch;
 pub mod event;
 pub mod log;
 pub mod provenance;
+pub mod segment;
 
-pub use batch::BatchedAppender;
+pub use batch::{BatchedAppender, PruneSink};
 pub use event::{AuditEvent, AuditEventKind, AuditRecord, RecordId};
 pub use log::{AuditLog, ChainVerification, PruneOutcome};
 pub use provenance::{NodeId, NodeKind, ProvenanceEdge, ProvenanceGraph, ProvenanceNode, Relation};
+pub use segment::{
+    FaultHook, FsyncHistogram, IoFault, IoOp, RecoveryReport, SegmentStats, SegmentStore,
+    SegmentSummary, Truncation,
+};

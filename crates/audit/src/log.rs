@@ -92,9 +92,33 @@ impl AuditLog {
         AuditLog { authority: authority.into(), records: Vec::new(), anchor_hash: 0, next_id: 0 }
     }
 
+    /// Creates an empty log that resumes an earlier chain: the first record appended
+    /// will chain onto `anchor_hash` and be numbered `next_id`. This is how a process
+    /// restart re-anchors on the crashed incarnation's last *persisted* record — the
+    /// on-disk prefix plus the resumed log verify as one chain.
+    pub fn resume(authority: impl Into<String>, anchor_hash: u64, next_id: u64) -> Self {
+        AuditLog { authority: authority.into(), records: Vec::new(), anchor_hash, next_id }
+    }
+
     /// The recording authority's name.
     pub fn authority(&self) -> &str {
         &self.authority
+    }
+
+    /// The hash the first retained record chains from (0 for a fresh, unpruned log).
+    pub fn anchor_hash(&self) -> u64 {
+        self.anchor_hash
+    }
+
+    /// The id the next appended record will get (ids keep increasing across pruning).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The hash of the newest record, or the anchor if the log is empty — exactly what
+    /// the next appended record will chain from.
+    pub fn head_hash(&self) -> u64 {
+        self.records.last().map(|r| r.hash).unwrap_or(self.anchor_hash)
     }
 
     /// Appends an event at the given simulated time, returning the new record's id.
@@ -164,8 +188,18 @@ impl AuditLog {
 
     /// Verifies the hash chain from the anchor to the newest record.
     pub fn verify_chain(&self) -> ChainVerification {
-        let mut expected_prev = self.anchor_hash;
-        for r in &self.records {
+        Self::verify_records(self.anchor_hash, &self.records)
+    }
+
+    /// Verifies an arbitrary record slice as a chain anchored on `anchor_hash`.
+    ///
+    /// This is the same check as [`Self::verify_chain`], exposed so external stores of
+    /// records (e.g. recovered on-disk segments) can be verified — including spans that
+    /// cross storage boundaries, by concatenating the disk prefix with the in-memory
+    /// suffix and anchoring on the first segment's anchor.
+    pub fn verify_records(anchor_hash: u64, records: &[AuditRecord]) -> ChainVerification {
+        let mut expected_prev = anchor_hash;
+        for r in records {
             if r.previous_hash != expected_prev {
                 return ChainVerification::Broken { at: r.id };
             }
@@ -176,21 +210,23 @@ impl AuditLog {
             }
             expected_prev = r.hash;
         }
-        ChainVerification::Intact { records: self.records.len() }
+        ChainVerification::Intact { records: records.len() }
     }
 
     /// Drops the oldest `split` records, re-anchoring the retained chain on the last
-    /// pruned record's hash so verification still succeeds across the cut.
-    fn prune_at(&mut self, split: usize) -> PruneOutcome {
+    /// pruned record's hash so verification still succeeds across the cut. Returns the
+    /// removed records so callers can persist them before they vanish.
+    fn prune_at(&mut self, split: usize) -> (PruneOutcome, Vec<AuditRecord>) {
         let removed: Vec<AuditRecord> = self.records.drain(..split).collect();
         if let Some(last) = removed.last() {
             self.anchor_hash = last.hash;
         }
-        PruneOutcome {
+        let outcome = PruneOutcome {
             removed: removed.len(),
             retained: self.records.len(),
             anchor_hash: self.anchor_hash,
-        }
+        };
+        (outcome, removed)
     }
 
     /// Prunes all records recorded strictly before `before_millis`, keeping the chain
@@ -201,7 +237,7 @@ impl AuditLog {
             .iter()
             .position(|r| r.at_millis >= before_millis)
             .unwrap_or(self.records.len());
-        self.prune_at(split)
+        self.prune_at(split).0
     }
 
     /// Keeps only the newest `keep` records, pruning older ones while anchoring the
@@ -210,6 +246,14 @@ impl AuditLog {
     /// enforcement points: tamper evidence for the retained window survives, and the
     /// anchor proves continuity with the pruned history.
     pub fn retain_recent(&mut self, keep: usize) -> PruneOutcome {
+        self.retain_recent_taking(keep).0
+    }
+
+    /// Like [`Self::retain_recent`], but *returns* the pruned-out records (oldest
+    /// first) instead of discarding them, so a persistence sink can write them to
+    /// durable storage before they stop being observable. The returned records are the
+    /// exact chain span between the old anchor and the new one.
+    pub fn retain_recent_taking(&mut self, keep: usize) -> (PruneOutcome, Vec<AuditRecord>) {
         self.prune_at(self.records.len().saturating_sub(keep))
     }
 
@@ -388,6 +432,68 @@ mod tests {
         let merged = AuditLog::merged_timeline([&a, &b]);
         let times: Vec<u64> = merged.iter().map(|r| r.at_millis).collect();
         assert_eq!(times, vec![3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn retain_recent_taking_yields_the_pruned_span() {
+        let mut log = AuditLog::new("node-a");
+        for t in 0..10 {
+            log.record(flow_event("s", "d", false), t);
+        }
+        let head_before = log.records()[6].hash;
+        let (outcome, pruned) = log.retain_recent_taking(3);
+        assert_eq!(outcome.removed, 7);
+        assert_eq!(pruned.len(), 7);
+        // The yielded records are the exact chain span up to the new anchor.
+        assert_eq!(AuditLog::verify_records(0, &pruned), ChainVerification::Intact { records: 7 });
+        assert_eq!(pruned.last().unwrap().hash, outcome.anchor_hash);
+        assert_eq!(outcome.anchor_hash, head_before);
+        assert_eq!(log.anchor_hash(), head_before);
+        assert!(log.verify_chain().is_intact());
+    }
+
+    #[test]
+    fn resume_continues_the_chain_from_a_persisted_head() {
+        let mut first = AuditLog::new("shard-0");
+        for t in 0..5 {
+            first.record(flow_event("s", "d", false), t);
+        }
+        let persisted: Vec<AuditRecord> = first.records().to_vec();
+        let head = first.head_hash();
+        let next_id = first.next_id();
+
+        // A restarted incarnation re-anchors on the persisted head.
+        let mut resumed = AuditLog::resume("shard-0", head, next_id);
+        assert_eq!(resumed.anchor_hash(), head);
+        assert_eq!(resumed.next_id(), next_id);
+        resumed.record(flow_event("s", "d", false), 10);
+        assert!(resumed.verify_chain().is_intact());
+
+        // Disk prefix + resumed suffix verify as one chain.
+        let mut combined = persisted;
+        combined.extend(resumed.records().iter().cloned());
+        assert_eq!(
+            AuditLog::verify_records(0, &combined),
+            ChainVerification::Intact { records: 6 }
+        );
+        assert_eq!(combined.last().unwrap().id, RecordId(5));
+    }
+
+    #[test]
+    fn verify_records_detects_a_cross_boundary_break() {
+        let mut log = AuditLog::new("n");
+        for t in 0..4 {
+            log.record(flow_event("s", "d", false), t);
+        }
+        let mut records: Vec<AuditRecord> = log.records().to_vec();
+        // Dropping a middle record breaks the slice chain.
+        records.remove(2);
+        assert!(!AuditLog::verify_records(0, &records).is_intact());
+        // A wrong anchor breaks it at the first record.
+        assert_eq!(
+            AuditLog::verify_records(7, log.records()),
+            ChainVerification::Broken { at: RecordId(0) }
+        );
     }
 
     #[test]

@@ -3,14 +3,15 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
+use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender, SegmentStats, SegmentStore};
 use legaliot_context::{ContextSnapshot, ContextStore, Timestamp};
 use legaliot_ifc::{context_hash64, CacheStats, SecurityContext};
 use legaliot_middleware::admission::{admit_channel, admit_channel_cached, AdmissionCache};
@@ -59,6 +60,38 @@ pub enum PayloadMode {
     /// subscriber and quench by map clone on the shard — the naive port of the bus's
     /// per-delivery behaviour, kept as the measured baseline for the zero-copy path.
     CloneEach,
+}
+
+/// Durable-audit persistence: stream retained-out audit records into per-shard
+/// on-disk [`SegmentStore`]s, and persist each shard's remaining in-memory records
+/// at graceful shutdown — so the complete tamper-evident chain survives both
+/// pruning and process crashes (see [`SegmentStore::recover`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// Base directory; shard `i` writes segments under `<dir>/shard-<i>/`. On
+    /// engine startup each shard directory is recovered (torn tails truncated and
+    /// counted in [`DataplaneStats::recovery_truncations`]) and the shard's audit
+    /// chain re-anchors on the last persisted record.
+    pub dir: PathBuf,
+    /// Records per segment before rotation (sealed segments are fsynced and
+    /// closed). Clamped to ≥ 1.
+    pub max_segment_records: usize,
+    /// Fsync after every retention flush (`true`, the durable default) or only at
+    /// segment rotation and shutdown (`false`, faster, wider loss window).
+    pub sync_on_flush: bool,
+}
+
+impl PersistenceConfig {
+    /// Durable defaults rooted at `dir`: 4096 records per segment, fsync on every
+    /// flush.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig { dir: dir.into(), max_segment_records: 4096, sync_on_flush: true }
+    }
+
+    /// The segment directory of one shard.
+    pub fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}"))
+    }
 }
 
 /// Tuning knobs for a [`Dataplane`].
@@ -119,6 +152,12 @@ pub struct DataplaneConfig {
     /// Base backoff slept before each restart; doubles per consecutive restart
     /// (capped at ×64), so a crash-looping shard backs off without wedging drain.
     pub restart_backoff: Duration,
+    /// Durable audit: when set, every record pruned out of a shard's in-memory
+    /// retention window streams to a per-shard on-disk [`SegmentStore`], and the
+    /// remaining in-memory records are persisted and fsynced at shutdown. `None`
+    /// (the default) keeps the hot path free of any IO — the same
+    /// zero-cost-when-off discipline as `telemetry` and `failpoints`.
+    pub persistence: Option<PersistenceConfig>,
 }
 
 impl Default for DataplaneConfig {
@@ -140,6 +179,7 @@ impl Default for DataplaneConfig {
             failpoints: None,
             restart_budget: 4,
             restart_backoff: Duration::from_millis(1),
+            persistence: None,
         }
     }
 }
@@ -260,12 +300,32 @@ pub(crate) struct Directory {
     pub control_audit: BatchedAppender,
 }
 
+/// One shard's durable-audit attachment: the open segment store plus the resume
+/// point recovered from its directory at engine startup. The store sits behind a
+/// mutex because both the shard worker (prune sink, shutdown epilogue) and the
+/// engine handle (`stats`, report assembly) touch it; all critical sections are
+/// short and no other lock is held across them.
+#[derive(Debug)]
+pub(crate) struct ShardPersistence {
+    pub store: Arc<Mutex<SegmentStore>>,
+    /// Hash of the last record persisted before this incarnation started; the
+    /// shard's in-memory chain re-anchors here so `verify_chain` spans disk + RAM.
+    pub resume_anchor: u64,
+    /// First record id this incarnation may assign (recovered `next_id`).
+    pub resume_next_id: u64,
+    /// Torn/corrupt tails truncated while recovering this shard's directory.
+    pub recovery_truncations: u64,
+}
+
 /// State shared between the engine handle and the shard workers.
 #[derive(Debug)]
 pub(crate) struct SharedState {
     pub name: String,
     pub directory: RwLock<Directory>,
     pub shards: Vec<ShardState>,
+    /// Per-shard durable-audit stores, index-aligned with `shards`; all `None`
+    /// when persistence is off.
+    pub persistence: Vec<Option<ShardPersistence>>,
     /// The context store enforcement-time AC decisions are evaluated against; shards
     /// keep per-batch snapshots of it and AC caches subscribe to it.
     pub context_store: Arc<ContextStore>,
@@ -317,6 +377,20 @@ pub struct DataplaneStats {
     /// Shards currently degraded (restart budget exhausted; publishes routed to
     /// them fail with [`DataplaneError::ShardUnavailable`]). Zero in normal runs.
     pub degraded_shards: u64,
+    /// Segment files opened for writing across all shard stores. Zero when
+    /// persistence is off.
+    pub segments_written: u64,
+    /// Audit records persisted to on-disk segments (retention prune-outs plus the
+    /// shutdown tail). Zero when persistence is off.
+    pub segment_records_persisted: u64,
+    /// Bytes covered by successful segment fsyncs. Zero when persistence is off.
+    pub segment_bytes_fsynced: u64,
+    /// Records a wedged segment store had to drop (injected or real IO fault;
+    /// each loss is counted, never silent). Zero in normal runs.
+    pub segment_records_dropped: u64,
+    /// Torn or corrupt segment tails truncated while recovering the persistence
+    /// directories at engine startup. Zero in normal runs.
+    pub recovery_truncations: u64,
 }
 
 impl DataplaneStats {
@@ -364,6 +438,16 @@ pub struct DataplaneReport {
     /// and zeroed cache stats in that shard's slots) instead of aborting
     /// shutdown and wedging the remaining joins.
     pub worker_panics: Vec<(usize, String)>,
+    /// Segment files sealed (fsynced and closed) across all shard stores,
+    /// including the final seal each worker performs before its join returns.
+    /// Zero when persistence is off.
+    pub segments_sealed: u64,
+    /// Bytes written to segments but never covered by a successful fsync. Zero
+    /// after a clean shutdown; non-zero means a store wedged on an IO fault and
+    /// the tail on disk may be torn — visible here rather than silently lost.
+    pub unsynced_bytes: u64,
+    /// Merged per-shard segment-store statistics (`None` when persistence is off).
+    pub segment_stats: Option<SegmentStats>,
 }
 
 impl DataplaneReport {
@@ -426,6 +510,13 @@ impl Dataplane {
     /// of this store, and the per-shard AC caches subscribe to it so a
     /// [`ContextStore::set`] on a key a rule reads forces re-evaluation on every
     /// shard.
+    ///
+    /// # Panics
+    ///
+    /// When [`DataplaneConfig::persistence`] is set and a shard's segment
+    /// directory cannot be recovered or reopened (unreadable directory,
+    /// permission failure). Durable audit that cannot start is a configuration
+    /// error, not something to silently disable.
     pub fn with_context_store(
         name: impl Into<String>,
         config: DataplaneConfig,
@@ -433,6 +524,36 @@ impl Dataplane {
     ) -> Self {
         let name = name.into();
         let shards = config.shards.max(1);
+        let persistence: Vec<Option<ShardPersistence>> = match &config.persistence {
+            None => (0..shards).map(|_| None).collect(),
+            Some(persistence) => (0..shards)
+                .map(|index| {
+                    let dir = persistence.shard_dir(index);
+                    let report = SegmentStore::recover(&dir).unwrap_or_else(|error| {
+                        panic!("cannot recover audit segments in {}: {error}", dir.display())
+                    });
+                    let mut store = SegmentStore::create(
+                        &dir,
+                        report.head_hash,
+                        persistence.max_segment_records.max(1),
+                    )
+                    .unwrap_or_else(|error| {
+                        panic!("cannot open audit segment store in {}: {error}", dir.display())
+                    });
+                    if let Some(registry) = &config.failpoints {
+                        store.set_fault_hook(crate::failpoint::segment_fault_hook(Arc::clone(
+                            registry,
+                        )));
+                    }
+                    Some(ShardPersistence {
+                        store: Arc::new(Mutex::new(store)),
+                        resume_anchor: report.head_hash,
+                        resume_next_id: report.next_id,
+                        recovery_truncations: report.truncations.len() as u64,
+                    })
+                })
+                .collect(),
+        };
         let mut admission_cache = AdmissionCache::with_capacity(config.cache_capacity);
         admission_cache.attach(&context_store);
         let shared = Arc::new(SharedState {
@@ -446,6 +567,7 @@ impl Dataplane {
             shards: (0..shards)
                 .map(|_| ShardState::new(config.queue_capacity, config.telemetry.is_enabled()))
                 .collect(),
+            persistence,
             context_store,
             epoch: Instant::now(),
             name,
@@ -1069,7 +1191,32 @@ impl Dataplane {
             stats.deliveries_lost += shard.counters.lost.load(Ordering::Relaxed);
             stats.degraded_shards += u64::from(shard.counters.degraded.load(Ordering::Relaxed));
         }
+        if let Some(segments) = self.segment_stats() {
+            stats.segments_written = segments.segments_written;
+            stats.segment_records_persisted = segments.records_persisted;
+            stats.segment_bytes_fsynced = segments.bytes_fsynced;
+            stats.segment_records_dropped = segments.records_dropped;
+            stats.recovery_truncations = self
+                .shared
+                .persistence
+                .iter()
+                .flatten()
+                .map(|shard| shard.recovery_truncations)
+                .sum();
+        }
         stats
+    }
+
+    /// Merged per-shard segment-store statistics, including fsync latency
+    /// histograms; `None` when [`DataplaneConfig::persistence`] is off.
+    pub fn segment_stats(&self) -> Option<SegmentStats> {
+        let mut merged = SegmentStats::default();
+        let mut enabled = false;
+        for shard in self.shared.persistence.iter().flatten() {
+            merged.merge(shard.store.lock().stats());
+            enabled = true;
+        }
+        enabled.then_some(merged)
     }
 
     /// A point-in-time [`TelemetrySnapshot`]: aggregated counters plus per-shard
@@ -1141,6 +1288,13 @@ impl Dataplane {
         // Workers are gone, so every enforced delivery is in its mailbox; closing now
         // lets consumers drain the backlog and then observe Disconnected.
         self.close_mailboxes();
+        // Workers sealed their stores in the shutdown epilogue (before the joins
+        // above returned), so these merged stats already cover the final fsyncs.
+        let segment_stats = self.segment_stats();
+        let (segments_sealed, unsynced_bytes) = segment_stats
+            .as_ref()
+            .map(|segments| (segments.segments_sealed, segments.unsynced_bytes))
+            .unwrap_or((0, 0));
         let stats = self.stats();
         let (control_audit, admission_cache_stats) = {
             let mut directory = self.shared.directory.write();
@@ -1161,6 +1315,9 @@ impl Dataplane {
             ac_cache_stats,
             admission_cache_stats,
             worker_panics,
+            segments_sealed,
+            unsynced_bytes,
+            segment_stats,
         }
     }
 

@@ -44,10 +44,22 @@ pub enum FailpointSite {
     /// honoured only here; [`FaultKind::Panic`] is ignored here (it would
     /// crash the publisher's thread, not a supervised worker).
     IngressEnqueue,
+    /// A durable-audit segment frame write ([`IoOp::Write`](legaliot_audit::IoOp)).
+    /// [`FaultKind::ShortWrite`] tears the frame on disk and wedges the store;
+    /// [`FaultKind::IoError`] wedges it with a clean prefix.
+    SegmentWrite,
+    /// A durable-audit segment fsync ([`IoOp::Sync`](legaliot_audit::IoOp)).
+    /// [`FaultKind::Delay`] models a slow fsync; [`FaultKind::IoError`] a
+    /// failed one (unsynced bytes stay visible in the stats).
+    SegmentSync,
+    /// Opening/rotating a durable-audit segment file
+    /// ([`IoOp::Rotate`](legaliot_audit::IoOp)). [`FaultKind::ShortWrite`]
+    /// tears the new segment's header.
+    SegmentRotate,
 }
 
 /// Number of distinct failpoint sites (indexes the per-site counters).
-const SITE_COUNT: usize = 5;
+const SITE_COUNT: usize = 8;
 
 impl FailpointSite {
     /// Every site, in stable order.
@@ -57,6 +69,9 @@ impl FailpointSite {
         FailpointSite::AuditAppend,
         FailpointSite::MailboxHandOff,
         FailpointSite::IngressEnqueue,
+        FailpointSite::SegmentWrite,
+        FailpointSite::SegmentSync,
+        FailpointSite::SegmentRotate,
     ];
 
     /// The site's stable catalog name (used in panic messages and docs).
@@ -67,6 +82,9 @@ impl FailpointSite {
             FailpointSite::AuditAppend => "audit.append",
             FailpointSite::MailboxHandOff => "mailbox.handoff",
             FailpointSite::IngressEnqueue => "ingress.enqueue",
+            FailpointSite::SegmentWrite => "segment.write",
+            FailpointSite::SegmentSync => "segment.sync",
+            FailpointSite::SegmentRotate => "segment.rotate",
         }
     }
 
@@ -77,6 +95,9 @@ impl FailpointSite {
             FailpointSite::AuditAppend => 2,
             FailpointSite::MailboxHandOff => 3,
             FailpointSite::IngressEnqueue => 4,
+            FailpointSite::SegmentWrite => 5,
+            FailpointSite::SegmentSync => 6,
+            FailpointSite::SegmentRotate => 7,
         }
     }
 }
@@ -101,6 +122,14 @@ pub enum FaultKind {
     /// queue. Honoured only at [`FailpointSite::IngressEnqueue`]; elsewhere it
     /// is ignored.
     QueueFull,
+    /// Write only part of the bytes, leaving a torn tail on disk, then wedge
+    /// the segment store. Honoured only at the `segment.*` sites; elsewhere it
+    /// is ignored.
+    ShortWrite,
+    /// Fail the IO operation outright and wedge the segment store (its disk
+    /// state stays a clean prefix). Honoured only at the `segment.*` sites;
+    /// elsewhere it is ignored.
+    IoError,
 }
 
 /// How a spec decides whether hit number `n` (0-based, per site) fires.
@@ -256,7 +285,7 @@ pub(crate) fn inject(failpoints: &Option<std::sync::Arc<FailpointRegistry>>, sit
         match registry.check(site) {
             Some(FaultKind::Panic) => panic!("failpoint `{}` fired", site.name()),
             Some(FaultKind::Delay(delay)) => std::thread::sleep(delay),
-            Some(FaultKind::QueueFull) | None => {}
+            Some(FaultKind::QueueFull | FaultKind::ShortWrite | FaultKind::IoError) | None => {}
         }
     }
 }
@@ -271,10 +300,35 @@ pub(crate) fn inject_ingress(failpoints: &Option<std::sync::Arc<FailpointRegistr
         match registry.check(FailpointSite::IngressEnqueue) {
             Some(FaultKind::QueueFull) => return true,
             Some(FaultKind::Delay(delay)) => std::thread::sleep(delay),
-            Some(FaultKind::Panic) | None => {}
+            Some(FaultKind::Panic | FaultKind::ShortWrite | FaultKind::IoError) | None => {}
         }
     }
     false
+}
+
+/// Builds a [`FaultHook`](legaliot_audit::FaultHook) for a shard's
+/// [`SegmentStore`](legaliot_audit::SegmentStore) that maps its IO operations
+/// onto the `segment.*` failpoint sites of `registry`, translating the generic
+/// fault kinds into segment IO faults (`ShortWrite` → torn write, `IoError` →
+/// hard error, `Delay` → slow IO; `Panic`/`QueueFull` are meaningless for
+/// segment IO and are ignored).
+pub(crate) fn segment_fault_hook(
+    registry: std::sync::Arc<FailpointRegistry>,
+) -> legaliot_audit::FaultHook {
+    use legaliot_audit::{IoFault, IoOp};
+    Box::new(move |op| {
+        let site = match op {
+            IoOp::Write => FailpointSite::SegmentWrite,
+            IoOp::Sync => FailpointSite::SegmentSync,
+            IoOp::Rotate => FailpointSite::SegmentRotate,
+        };
+        match registry.check(site) {
+            Some(FaultKind::ShortWrite) => Some(IoFault::ShortWrite),
+            Some(FaultKind::IoError) => Some(IoFault::Error),
+            Some(FaultKind::Delay(delay)) => Some(IoFault::Delay(delay)),
+            Some(FaultKind::Panic | FaultKind::QueueFull) | None => None,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -369,9 +423,53 @@ mod tests {
                 "shard.process",
                 "audit.append",
                 "mailbox.handoff",
-                "ingress.enqueue"
+                "ingress.enqueue",
+                "segment.write",
+                "segment.sync",
+                "segment.rotate"
             ]
         );
         assert_eq!(FailpointSite::ShardLoop.to_string(), "shard.loop");
+    }
+
+    #[test]
+    fn segment_hook_maps_sites_and_kinds() {
+        use legaliot_audit::{IoFault, IoOp};
+        let registry = std::sync::Arc::new(
+            FailpointRegistry::new(0)
+                .with_spec(FailpointSpec::on_hits(
+                    FailpointSite::SegmentWrite,
+                    FaultKind::ShortWrite,
+                    0,
+                    0,
+                ))
+                .with_spec(FailpointSpec::on_hits(
+                    FailpointSite::SegmentSync,
+                    FaultKind::IoError,
+                    0,
+                    0,
+                ))
+                .with_spec(FailpointSpec::on_hits(
+                    FailpointSite::SegmentRotate,
+                    FaultKind::Delay(Duration::from_micros(1)),
+                    0,
+                    0,
+                ))
+                // A kind that makes no sense for segment IO is filtered out.
+                .with_spec(FailpointSpec::on_hits(
+                    FailpointSite::SegmentWrite,
+                    FaultKind::Panic,
+                    1,
+                    1,
+                )),
+        );
+        let mut hook = segment_fault_hook(std::sync::Arc::clone(&registry));
+        assert_eq!(hook(IoOp::Write), Some(IoFault::ShortWrite));
+        assert_eq!(hook(IoOp::Sync), Some(IoFault::Error));
+        assert_eq!(hook(IoOp::Rotate), Some(IoFault::Delay(Duration::from_micros(1))));
+        // Second Write hit matches the Panic spec, which the hook ignores.
+        assert_eq!(hook(IoOp::Write), None);
+        assert_eq!(registry.fired(FailpointSite::SegmentWrite), 2);
+        assert_eq!(registry.hits(FailpointSite::SegmentSync), 1);
     }
 }

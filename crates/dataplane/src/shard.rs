@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use legaliot_audit::{AuditEvent, AuditLog, BatchedAppender};
+use legaliot_audit::{AuditEvent, AuditLog, AuditRecord, BatchedAppender};
 use legaliot_context::{ContextSnapshot, ContextStore, Timestamp};
 use legaliot_ifc::{can_flow, context_hash64, DecisionCache, FlowDecision, SecurityContext};
 use legaliot_middleware::admission::AdmissionCache;
@@ -366,8 +366,36 @@ pub(crate) fn run_worker(
 ) -> ShardReport {
     let store = Arc::clone(&shared.context_store);
     let authority = format!("{}-shard-{index}", shared.name);
-    let appender = BatchedAppender::new(authority.clone(), config.audit_batch)
-        .with_retention(config.audit_retention);
+    let appender = match shared.persistence[index].as_ref() {
+        Some(persistence) => {
+            // Durable mode: the chain resumes from the last *persisted* record of
+            // the previous incarnation (hash and id recovered from disk), and every
+            // record pruned out of the retention window streams to the shard's
+            // segment store before being discarded — loss-free by construction.
+            let segments = Arc::clone(&persistence.store);
+            let sync_on_flush = config.persistence.as_ref().map_or(true, |p| p.sync_on_flush);
+            BatchedAppender::over(
+                AuditLog::resume(
+                    authority.clone(),
+                    persistence.resume_anchor,
+                    persistence.resume_next_id,
+                ),
+                config.audit_batch,
+            )
+            .with_retention(config.audit_retention)
+            .with_prune_sink(move |records: &[AuditRecord]| {
+                let mut segments = segments.lock();
+                for record in records {
+                    segments.append(record);
+                }
+                if sync_on_flush {
+                    segments.sync();
+                }
+            })
+        }
+        None => BatchedAppender::new(authority.clone(), config.audit_batch)
+            .with_retention(config.audit_retention),
+    };
     let mut state = WorkerState::fresh(&store, &config, appender);
     let mut progress = BatchProgress::new();
     let mut restarts: u32 = 0;
@@ -448,11 +476,22 @@ pub(crate) fn run_worker(
     // The worker is done with the store; drop its subscription so a store that
     // outlives the dataplane (`with_context_store`) is not pinned by dead cursors.
     state.ac_cache.detach(&store);
-    ShardReport {
-        audit: state.appender.into_log(),
-        cache_stats: state.cache.stats(),
-        ac_cache_stats: state.ac_cache.stats(),
+    // `into_log` flushes with the prune sink still installed, so any final
+    // retention prune-out reaches disk before the log is frozen.
+    let audit = state.appender.into_log();
+    if let Some(persistence) = shared.persistence[index].as_ref() {
+        // Graceful-exit epilogue: persist the in-memory tail and seal, so the
+        // on-disk segments hold the shard's *complete* record stream (pruned
+        // prefix + retained tail, in chain order) fsynced before the engine's
+        // join observes this worker as done. A store wedged by an IO fault
+        // counts these appends as drops instead — visible, never silent.
+        let mut segments = persistence.store.lock();
+        for record in audit.records() {
+            segments.append(record);
+        }
+        segments.seal();
     }
+    ShardReport { audit, cache_stats: state.cache.stats(), ac_cache_stats: state.ac_cache.stats() }
 }
 
 impl WorkerState {
@@ -484,9 +523,17 @@ impl WorkerState {
 /// are evidence aggregation, not derived cache state, and dropping them would
 /// lose already-counted checks from the shutdown `FlowSummary` records.
 fn rebuild_state(state: &mut WorkerState, store: &Arc<ContextStore>, config: &DataplaneConfig) {
-    let appender = std::mem::replace(&mut state.appender, BatchedAppender::new(String::new(), 1));
-    state.appender = BatchedAppender::over(appender.into_log(), config.audit_batch)
+    let mut appender =
+        std::mem::replace(&mut state.appender, BatchedAppender::new(String::new(), 1));
+    // Flush *before* detaching the prune sink: the implicit flush inside
+    // `into_log` would otherwise prune with no sink installed and records pruned
+    // at restart time would never reach the segment store.
+    appender.flush();
+    let prune_sink = appender.take_prune_sink();
+    let mut rebuilt = BatchedAppender::over(appender.into_log(), config.audit_batch)
         .with_retention(config.audit_retention);
+    rebuilt.set_prune_sink(prune_sink);
+    state.appender = rebuilt;
     state.cache = DecisionCache::with_capacity(config.cache_capacity);
     let mut ac_cache = AdmissionCache::with_capacity(config.cache_capacity);
     ac_cache.attach(store);

@@ -311,6 +311,11 @@ impl TelemetrySnapshot {
         out.record_counter("shard_restarts", self.stats.shard_restarts);
         out.record_counter("deliveries_lost", self.stats.deliveries_lost);
         out.record_gauge("degraded_shards", self.stats.degraded_shards);
+        out.record_counter("segments_written", self.stats.segments_written);
+        out.record_counter("segment_records_persisted", self.stats.segment_records_persisted);
+        out.record_counter("segment_bytes_fsynced", self.stats.segment_bytes_fsynced);
+        out.record_counter("segment_records_dropped", self.stats.segment_records_dropped);
+        out.record_counter("recovery_truncations", self.stats.recovery_truncations);
         let merged = self.merged();
         out.record_counter("queue_consumer_parks", merged.queue_consumer_parks);
         out.record_counter("queue_producer_waits", merged.queue_producer_waits);

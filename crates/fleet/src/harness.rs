@@ -57,6 +57,131 @@ pub struct RunOutcome {
     pub worker_panics: usize,
 }
 
+/// A fleet installed on a live dataplane, ready to play rounds — the shared
+/// machinery behind [`run_fleet`] (which plays everything and shuts down
+/// gracefully) and [`run_fleet_partial`] (which stops mid-churn and hands the
+/// live engine back, e.g. to model a crash).
+struct FleetSession {
+    dataplane: Dataplane,
+    store: Arc<ContextStore>,
+    schemas: BTreeMap<String, SchemaSpec>,
+    subscribers: BTreeMap<String, Subscriber>,
+    admissions: Vec<(String, String, bool)>,
+    observed: BTreeMap<(String, String, u64), Message>,
+    duplicate_deliveries: u64,
+}
+
+impl FleetSession {
+    fn install(fleet: &Fleet, name: &str, config: DataplaneConfig) -> Result<Self, DataplaneError> {
+        let dataplane = Dataplane::new(name, config);
+        let store = Arc::clone(dataplane.context_store());
+
+        // Settle every context key before any admission reads it.
+        for deployment in &fleet.deployments {
+            for (key, value) in &deployment.initial_keys {
+                store.set(key.as_str(), value.to_context_value(), Timestamp(1));
+            }
+        }
+
+        // One fleet-wide topology through the shared builder/bulk path.
+        let mut builder = TopologyBuilder::new("generated-fleet");
+        for deployment in &fleet.deployments {
+            for thing in &deployment.things {
+                builder = builder.thing(&thing.to_thing());
+            }
+            for (from, to) in &deployment.edges {
+                builder = builder.edge(from.as_str(), to.as_str());
+            }
+        }
+        let topology = builder.build();
+        topology.register(&dataplane)?;
+
+        let mut schemas: BTreeMap<String, SchemaSpec> = BTreeMap::new();
+        for deployment in &fleet.deployments {
+            for schema in &deployment.schemas {
+                dataplane.register_schema(schema.to_schema())?;
+                schemas.insert(schema.message_type.clone(), schema.clone());
+            }
+        }
+        dataplane.with_access(|access| {
+            for deployment in &fleet.deployments {
+                for rule in &deployment.rules {
+                    access.add_rule(rule.component.as_str(), rule.to_access_rule());
+                }
+            }
+        });
+
+        // Every edge destination gets a streaming receiver for the whole run —
+        // including destinations only joiners ever publish to (consumers never
+        // leave and joins only add publishers, so every destination is registered
+        // from install and keeps its mailbox to the end).
+        let mut subscribers: BTreeMap<String, Subscriber> = BTreeMap::new();
+        let mut consumer_names: BTreeSet<&str> =
+            topology.edges.iter().map(|(_, to)| to.as_str()).collect();
+        for round in &fleet.rounds {
+            for (_, event) in &round.events {
+                if let ControlEvent::Join { edges, .. } = event {
+                    consumer_names.extend(edges.iter().map(|(_, to)| to.as_str()));
+                }
+            }
+        }
+        for consumer in consumer_names {
+            subscribers.insert(consumer.to_string(), dataplane.open_subscriber(consumer)?);
+        }
+
+        let mut admissions = Vec::new();
+        {
+            let snapshot = store.snapshot();
+            for (from, to) in &topology.edges {
+                let outcome = dataplane.subscribe(from, to, &snapshot, Timestamp(2))?;
+                admissions.push((from.clone(), to.clone(), outcome.is_delivered()));
+            }
+        }
+
+        Ok(FleetSession {
+            dataplane,
+            store,
+            schemas,
+            subscribers,
+            admissions,
+            observed: BTreeMap::new(),
+            duplicate_deliveries: 0,
+        })
+    }
+
+    /// Plays one scripted round: control events against a settled engine, then
+    /// publishes, a full drain, and a sweep of every subscriber mailbox.
+    fn play_round(&mut self, round: &crate::spec::Round) -> Result<(), DataplaneError> {
+        // Control phase: the previous round fully drained, so every change
+        // lands while no delivery is in flight — enforcement and the oracle
+        // judge each round against the same settled state.
+        for (at, event) in &round.events {
+            apply_event(&self.dataplane, &self.store, &mut self.admissions, *at, event)?;
+        }
+        for publish in &round.publishes {
+            let schema =
+                self.schemas.get(&publish.message_type).expect("generated publishes have schemas");
+            let message = publish.message(schema);
+            self.dataplane.publish_message(
+                &publish.publisher,
+                &message,
+                Timestamp(publish.at_millis),
+            )?;
+        }
+        self.dataplane.drain();
+        for (consumer, subscriber) in &self.subscribers {
+            for received in subscriber.drain() {
+                let message = received.thaw();
+                let key = (message.sender.clone(), consumer.clone(), message.sent_at_millis);
+                if self.observed.insert(key, message).is_some() {
+                    self.duplicate_deliveries += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Installs and runs `fleet` on a dataplane with the given configuration.
 ///
 /// # Errors
@@ -68,102 +193,12 @@ pub fn run_fleet(
     name: &str,
     config: DataplaneConfig,
 ) -> Result<RunOutcome, DataplaneError> {
-    let dataplane = Dataplane::new(name, config);
-    let store = Arc::clone(dataplane.context_store());
-
-    // Settle every context key before any admission reads it.
-    for deployment in &fleet.deployments {
-        for (key, value) in &deployment.initial_keys {
-            store.set(key.as_str(), value.to_context_value(), Timestamp(1));
-        }
-    }
-
-    // One fleet-wide topology through the shared builder/bulk path.
-    let mut builder = TopologyBuilder::new("generated-fleet");
-    for deployment in &fleet.deployments {
-        for thing in &deployment.things {
-            builder = builder.thing(&thing.to_thing());
-        }
-        for (from, to) in &deployment.edges {
-            builder = builder.edge(from.as_str(), to.as_str());
-        }
-    }
-    let topology = builder.build();
-    topology.register(&dataplane)?;
-
-    let mut schemas: BTreeMap<String, SchemaSpec> = BTreeMap::new();
-    for deployment in &fleet.deployments {
-        for schema in &deployment.schemas {
-            dataplane.register_schema(schema.to_schema())?;
-            schemas.insert(schema.message_type.clone(), schema.clone());
-        }
-    }
-    dataplane.with_access(|access| {
-        for deployment in &fleet.deployments {
-            for rule in &deployment.rules {
-                access.add_rule(rule.component.as_str(), rule.to_access_rule());
-            }
-        }
-    });
-
-    // Every edge destination gets a streaming receiver for the whole run —
-    // including destinations only joiners ever publish to (consumers never
-    // leave and joins only add publishers, so every destination is registered
-    // from install and keeps its mailbox to the end).
-    let mut subscribers: BTreeMap<String, Subscriber> = BTreeMap::new();
-    let mut consumer_names: BTreeSet<&str> =
-        topology.edges.iter().map(|(_, to)| to.as_str()).collect();
+    let mut session = FleetSession::install(fleet, name, config)?;
     for round in &fleet.rounds {
-        for (_, event) in &round.events {
-            if let ControlEvent::Join { edges, .. } = event {
-                consumer_names.extend(edges.iter().map(|(_, to)| to.as_str()));
-            }
-        }
+        session.play_round(round)?;
     }
-    for consumer in consumer_names {
-        subscribers.insert(consumer.to_string(), dataplane.open_subscriber(consumer)?);
-    }
-
-    let mut admissions = Vec::new();
-    {
-        let snapshot = store.snapshot();
-        for (from, to) in &topology.edges {
-            let outcome = dataplane.subscribe(from, to, &snapshot, Timestamp(2))?;
-            admissions.push((from.clone(), to.clone(), outcome.is_delivered()));
-        }
-    }
-
-    let mut observed = BTreeMap::new();
-    let mut duplicate_deliveries = 0u64;
-    for round in &fleet.rounds {
-        // Control phase: the previous round fully drained, so every change
-        // lands while no delivery is in flight — enforcement and the oracle
-        // judge each round against the same settled state.
-        for (at, event) in &round.events {
-            apply_event(&dataplane, &store, &mut admissions, *at, event)?;
-        }
-        for publish in &round.publishes {
-            let schema =
-                schemas.get(&publish.message_type).expect("generated publishes have schemas");
-            let message = publish.message(schema);
-            dataplane.publish_message(
-                &publish.publisher,
-                &message,
-                Timestamp(publish.at_millis),
-            )?;
-        }
-        dataplane.drain();
-        for (consumer, subscriber) in &subscribers {
-            for received in subscriber.drain() {
-                let message = received.thaw();
-                let key = (message.sender.clone(), consumer.clone(), message.sent_at_millis);
-                if observed.insert(key, message).is_some() {
-                    duplicate_deliveries += 1;
-                }
-            }
-        }
-    }
-
+    let FleetSession { dataplane, subscribers, admissions, observed, duplicate_deliveries, .. } =
+        session;
     drop(subscribers);
     let report = dataplane.shutdown();
     let lost = report
@@ -187,6 +222,54 @@ pub fn run_fleet(
         chains_intact,
         worker_panics: report.worker_panics.len(),
     })
+}
+
+/// Everything observed from a fleet run stopped after [`Self::rounds_played`]
+/// rounds, with the engine still alive.
+#[derive(Debug)]
+pub struct PartialRun {
+    /// Per subscribe attempt so far, in script order: `(publisher, subscriber, admitted)`.
+    pub admissions: Vec<(String, String, bool)>,
+    /// Every delivery observed so far, thawed, keyed `(sender, receiver, sent_at_millis)`.
+    pub observed: BTreeMap<(String, String, u64), Message>,
+    /// Observed deliveries whose key was already present (must be zero).
+    pub duplicate_deliveries: u64,
+    /// Engine counters snapshotted after the last played round's drain — exact,
+    /// because nothing is in flight at a round boundary.
+    pub stats: DataplaneStats,
+    /// How many script rounds actually ran (the script may be shorter than asked).
+    pub rounds_played: usize,
+    /// The live engine. Dropping it takes the abandon path (mailboxes closed
+    /// first, then workers joined) — the harness's stand-in for a process torn
+    /// down mid-churn, used by the durable-audit crash-recovery tests.
+    pub dataplane: Dataplane,
+}
+
+/// Installs `fleet` and plays only the first `rounds` rounds, then hands back
+/// the live engine plus everything observed so far (subscriber mailboxes are
+/// already dropped). The caller decides how the run ends: `shutdown()` for a
+/// graceful close, or dropping [`PartialRun::dataplane`] to model a mid-churn
+/// teardown for crash-recovery testing.
+///
+/// # Errors
+///
+/// Propagates engine errors exactly as [`run_fleet`] does.
+pub fn run_fleet_partial(
+    fleet: &Fleet,
+    name: &str,
+    config: DataplaneConfig,
+    rounds: usize,
+) -> Result<PartialRun, DataplaneError> {
+    let mut session = FleetSession::install(fleet, name, config)?;
+    let rounds_played = rounds.min(fleet.rounds.len());
+    for round in &fleet.rounds[..rounds_played] {
+        session.play_round(round)?;
+    }
+    let FleetSession { dataplane, subscribers, admissions, observed, duplicate_deliveries, .. } =
+        session;
+    drop(subscribers);
+    let stats = dataplane.stats();
+    Ok(PartialRun { admissions, observed, duplicate_deliveries, stats, rounds_played, dataplane })
 }
 
 fn apply_event(

@@ -32,7 +32,7 @@ pub mod model;
 pub mod spec;
 
 pub use gen::generate;
-pub use harness::{run_fleet, LostDelivery, RunOutcome};
+pub use harness::{run_fleet, run_fleet_partial, LostDelivery, PartialRun, RunOutcome};
 pub use model::{predict, AdmissionOutcome, FleetModel, PredictedOutcome, Prediction};
 pub use spec::{
     AttrSpec, CondSpec, ControlEvent, Deployment, Fleet, FleetConfig, KeyValue, PublishSpec, Round,

@@ -24,11 +24,12 @@ use std::time::Instant;
 
 use std::sync::Arc;
 
+use legaliot::audit::SegmentStats;
 use legaliot::context::{ContextSnapshot, Timestamp};
 use legaliot::dataplane::{
     smart_city, smart_home, AuditDetail, Dataplane, DataplaneConfig, FailpointRegistry,
-    FailpointSite, FailpointSpec, FaultKind, PayloadMode, ShardTelemetrySnapshot, Stage, Topology,
-    TopologyBuilder,
+    FailpointSite, FailpointSpec, FaultKind, PayloadMode, PersistenceConfig,
+    ShardTelemetrySnapshot, Stage, Topology, TopologyBuilder,
 };
 use legaliot::fleet::{generate, FleetConfig};
 use legaliot::middleware::Message;
@@ -455,6 +456,74 @@ fn run_failpoint_overhead(topology: &Topology, messages: u64) -> (f64, f64) {
     (rates[0], rates[1])
 }
 
+/// The persistence A/B pair: the full-audit payload configuration run with the
+/// durable segment store off, then on (fsync on every flush), so the cost of
+/// crash-safe audit is a measured number rather than a claim.
+struct PersistenceOverhead {
+    off_msgs_per_sec: f64,
+    on_msgs_per_sec: f64,
+    /// Final segment-store counters of the durable run (after the sealing
+    /// shutdown), including the fsync latency histogram.
+    segment_stats: SegmentStats,
+}
+
+/// Measures the durable-audit cost: the 4-shard cached zero-copy payload
+/// configuration under `AuditDetail::Full` with bounded retention, run
+/// back-to-back without and with a [`PersistenceConfig`] streaming the
+/// retained-out records to fsynced on-disk segments.
+fn run_persistence_overhead(topology: &Topology, messages: u64) -> PersistenceOverhead {
+    let pairs = topology.publisher_messages();
+    let dir = std::env::temp_dir().join(format!(
+        "legaliot-bench-persist-{}-{}",
+        topology.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rates = [0.0f64; 2];
+    let mut segment_stats = SegmentStats::default();
+    let persistence =
+        PersistenceConfig { dir: dir.clone(), max_segment_records: 65_536, sync_on_flush: true };
+    for (index, persistence) in [None, Some(persistence)].into_iter().enumerate() {
+        let durable = persistence.is_some();
+        let config = DataplaneConfig {
+            shards: 4,
+            payload_mode: PayloadMode::ZeroCopy,
+            cache_decisions: true,
+            cache_ac_decisions: true,
+            audit_detail: AuditDetail::Full,
+            audit_batch: 1024,
+            audit_retention: Some(8_192),
+            persistence,
+            ..DataplaneConfig::default()
+        };
+        let dataplane = Dataplane::new(topology.name.clone(), config);
+        topology
+            .install_with_payload_schemas(&dataplane, &ContextSnapshot::default(), Timestamp(1))
+            .expect("topology installs");
+        let start = Instant::now();
+        drive_payload(&dataplane, &pairs, messages);
+        dataplane.drain();
+        let elapsed = start.elapsed();
+        let stats = dataplane.stats();
+        let report = dataplane.shutdown();
+        if durable {
+            segment_stats = report.segment_stats.expect("durable run reports segment stats");
+            assert_eq!(report.unsynced_bytes, 0, "graceful close leaves nothing unsynced");
+        }
+        rates[index] = stats.published as f64 / elapsed.as_secs_f64();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "   persistence overhead (4 shards, full audit): off {:>10.0} msgs/s  on {:>10.0} msgs/s  ({:.1}% cost)  {} records persisted, fsync p99 {}",
+        rates[0],
+        rates[1],
+        (1.0 - rates[1] / rates[0]) * 100.0,
+        segment_stats.records_persisted,
+        format_ns(segment_stats.fsync.p99_ns()),
+    );
+    PersistenceOverhead { off_msgs_per_sec: rates[0], on_msgs_per_sec: rates[1], segment_stats }
+}
+
 /// The fleet-scale row: a generated heterogeneous fleet on the payload hot
 /// path, reported with its population so the rate is interpretable.
 struct FleetBenchResult {
@@ -588,8 +657,9 @@ fn run_fleet_bench(seed: u64, deployments: usize, messages: u64) -> FleetBenchRe
 }
 
 /// One topology's full result set: name, per-config rows, the telemetry on/off
-/// overhead pair, and the failpoints none/armed overhead pair.
-type TopologyResults = (String, Vec<ConfigResult>, (f64, f64), (f64, f64));
+/// overhead pair, the failpoints none/armed overhead pair, and the durable-audit
+/// persistence off/on pair.
+type TopologyResults = (String, Vec<ConfigResult>, (f64, f64), (f64, f64), PersistenceOverhead);
 
 /// Renders the results as JSON by hand (stable key order, no dependencies) and writes
 /// them to `BENCH_dataplane.json` at the repo root.
@@ -599,7 +669,9 @@ fn write_bench_json(messages: u64, all: &[TopologyResults], fleet: &FleetBenchRe
     let _ = writeln!(json, "  \"bench\": \"dataplane_throughput\",");
     let _ = writeln!(json, "  \"messages_per_config\": {messages},");
     json.push_str("  \"topologies\": {\n");
-    for (t_index, (name, results, overhead, failpoint_overhead)) in all.iter().enumerate() {
+    for (t_index, (name, results, overhead, failpoint_overhead, persistence)) in
+        all.iter().enumerate()
+    {
         let _ = writeln!(json, "    \"{name}\": {{");
         json.push_str("      \"configs\": [\n");
         for (index, r) in results.iter().enumerate() {
@@ -695,6 +767,34 @@ fn write_bench_json(messages: u64, all: &[TopologyResults], fleet: &FleetBenchRe
             if fp_off > 0.0 { fp_on / fp_off } else { 0.0 }
         );
         json.push_str("      },\n");
+        let seg = &persistence.segment_stats;
+        json.push_str("      \"persistence_overhead\": {\n");
+        let _ = writeln!(json, "        \"config\": \"4 shards, payload zero-copy, full audit\",");
+        let _ = writeln!(
+            json,
+            "        \"persistence_disabled_msgs_per_sec\": {:.0},",
+            persistence.off_msgs_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "        \"persistence_enabled_msgs_per_sec\": {:.0},",
+            persistence.on_msgs_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "        \"enabled_over_disabled\": {:.4},",
+            if persistence.off_msgs_per_sec > 0.0 {
+                persistence.on_msgs_per_sec / persistence.off_msgs_per_sec
+            } else {
+                0.0
+            }
+        );
+        let _ = writeln!(json, "        \"records_persisted\": {},", seg.records_persisted);
+        let _ = writeln!(json, "        \"segments_written\": {},", seg.segments_written);
+        let _ = writeln!(json, "        \"fsync_count\": {},", seg.fsync.count());
+        let _ = writeln!(json, "        \"fsync_p99_ns\": {},", seg.fsync.p99_ns());
+        let _ = writeln!(json, "        \"fsync_max_ns\": {}", seg.fsync.max_ns());
+        json.push_str("      },\n");
         let clone_baseline = results
             .iter()
             .find(|r| r.label.contains("clone-each"))
@@ -760,6 +860,7 @@ fn main() {
         run_topology(&home, messages),
         run_telemetry_overhead(&home, messages),
         run_failpoint_overhead(&home, messages),
+        run_persistence_overhead(&home, messages),
     ));
     // Smart city: 4 districts × 8 sensors feeding gateways, analytics, anonymiser.
     let city = smart_city(4, 8);
@@ -768,6 +869,7 @@ fn main() {
         run_topology(&city, messages),
         run_telemetry_overhead(&city, messages),
         run_failpoint_overhead(&city, messages),
+        run_persistence_overhead(&city, messages),
     ));
 
     // Fleet scale: a generated heterogeneous fleet, same publish driver.

@@ -1,0 +1,339 @@
+//! Durable-audit crash-recovery conformance: a seeded fleet runs on a
+//! dataplane whose audit chains stream retained-out records to on-disk
+//! segment stores, and the disk is checked against the same reference model
+//! that checks the live engine:
+//!
+//! 1. a graceful durable run leaves each shard's **complete** record stream on
+//!    disk — recovery is clean, ids are dense, every recovered `FlowChecked`
+//!    record keys a predicted outcome with the predicted decision, and the
+//!    allowed records total exactly the oracle's delivered count;
+//! 2. a dataplane torn down mid-churn with injected segment IO faults
+//!    (`segment.write` short write, `segment.sync` error) recovers to a
+//!    verified chain *prefix* that still matches the oracle prefix record for
+//!    record, with the accounting identity exact at the teardown point and
+//!    every truncated tail reported — never silently lost;
+//! 3. a second incarnation on the same directories re-anchors on the last
+//!    persisted hash and extends the same verifiable chain.
+//!
+//! Reproducible from its seed: `LEGALIOT_FLEET_SEED` (default 1),
+//! `LEGALIOT_FLEET_DEPLOYMENTS` (default 200), `LEGALIOT_FLEET_ROUNDS`
+//! (default 4) and `LEGALIOT_FLEET_SHARDS` (default 4) tune the matrix.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use legaliot::audit::{AuditEvent, RecoveryReport, SegmentStore};
+use legaliot::context::{ContextSnapshot, Timestamp};
+use legaliot::dataplane::{
+    AuditDetail, Dataplane, DataplaneConfig, FailpointRegistry, FailpointSite, FailpointSpec,
+    FaultKind, PersistenceConfig,
+};
+use legaliot::fleet::{
+    generate, predict, run_fleet, run_fleet_partial, Fleet, FleetConfig, PredictedOutcome,
+    Prediction,
+};
+use legaliot::ifc::SecurityContext;
+use legaliot::middleware::{Component, Message, Principal};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Aborts the whole process if `done` is not set within `limit` — a durability
+/// run that hangs must fail loudly, not eat the CI job's timeout.
+fn watchdog(label: &'static str, limit: Duration, done: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        let start = std::time::Instant::now();
+        while start.elapsed() < limit {
+            if done.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("watchdog: `{label}` still running after {limit:?} — aborting");
+        std::process::exit(1);
+    });
+}
+
+fn fleet_under_test() -> (Fleet, usize, String) {
+    let seed = env_u64("LEGALIOT_FLEET_SEED", 1);
+    let deployments = env_u64("LEGALIOT_FLEET_DEPLOYMENTS", 200) as usize;
+    let rounds = env_u64("LEGALIOT_FLEET_ROUNDS", 4) as usize;
+    let shards = env_u64("LEGALIOT_FLEET_SHARDS", 4) as usize;
+    let ctx = format!(
+        "[reproduce with LEGALIOT_FLEET_SEED={seed} LEGALIOT_FLEET_DEPLOYMENTS={deployments} \
+         LEGALIOT_FLEET_ROUNDS={rounds} LEGALIOT_FLEET_SHARDS={shards}]"
+    );
+    (generate(FleetConfig { seed, deployments, rounds }), shards, ctx)
+}
+
+/// A fresh unique persistence root for one test run.
+fn durable_root(tag: &str) -> PathBuf {
+    let seed = env_u64("LEGALIOT_FLEET_SEED", 1);
+    let shards = env_u64("LEGALIOT_FLEET_SHARDS", 4);
+    let dir = std::env::temp_dir()
+        .join(format!("legaliot-durability-{tag}-s{seed}-n{shards}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Durable-audit configuration: full per-check records, a small batch and
+/// retention window so the bulk of the history streams to disk *mid-run*
+/// (not just at the shutdown epilogue), and fsync on every flush.
+fn durable_config(shards: usize, dir: &std::path::Path) -> DataplaneConfig {
+    DataplaneConfig {
+        shards,
+        audit_detail: AuditDetail::Full,
+        audit_batch: 16,
+        audit_retention: Some(32),
+        persistence: Some(PersistenceConfig {
+            dir: dir.to_path_buf(),
+            max_segment_records: 256,
+            sync_on_flush: true,
+        }),
+        ..DataplaneConfig::default()
+    }
+}
+
+/// Recovers every shard directory under `dir`.
+fn recover_all(dir: &std::path::Path, shards: usize) -> Vec<RecoveryReport> {
+    (0..shards)
+        .map(|shard| {
+            SegmentStore::recover(dir.join(format!("shard-{shard}")))
+                .unwrap_or_else(|e| panic!("recovery of shard {shard} failed: {e}"))
+        })
+        .collect()
+}
+
+/// Checks one shard's recovered stream against the oracle: intact chain, ids
+/// dense from 0, and every `FlowChecked` record keyed at a predicted outcome
+/// with the predicted decision. Returns (flow checks seen, allowed among them).
+fn check_recovered_shard(
+    shard: usize,
+    report: &RecoveryReport,
+    prediction: &Prediction,
+    ctx: &str,
+) -> (u64, u64) {
+    assert!(
+        report.chain.is_intact(),
+        "shard {shard} recovered chain must verify {ctx}: {:?}",
+        report.chain
+    );
+    for (i, record) in report.records.iter().enumerate() {
+        assert_eq!(record.id.0, i as u64, "shard {shard} ids must be dense {ctx}");
+    }
+    let mut checks = 0u64;
+    let mut allowed = 0u64;
+    for record in &report.records {
+        if let AuditEvent::FlowChecked { source, destination, decision, .. } = &record.event {
+            checks += 1;
+            let key = (source.clone(), destination.clone(), record.at_millis);
+            match prediction.outcomes.get(&key) {
+                Some(PredictedOutcome::Delivered(_)) => {
+                    assert!(
+                        decision.is_allowed(),
+                        "shard {shard}: disk says denied, oracle says delivered at {key:?} {ctx}"
+                    );
+                    allowed += 1;
+                }
+                Some(PredictedOutcome::Denied) => {
+                    assert!(
+                        decision.is_denied(),
+                        "shard {shard}: disk says allowed, oracle says denied at {key:?} {ctx}"
+                    );
+                }
+                None => panic!("shard {shard}: unpredicted FlowChecked at {key:?} {ctx}"),
+            }
+        }
+    }
+    (checks, allowed)
+}
+
+fn predicted_deliveries(prediction: &Prediction) -> BTreeMap<(String, String, u64), Message> {
+    prediction
+        .outcomes
+        .iter()
+        .filter_map(|(key, outcome)| match outcome {
+            PredictedOutcome::Delivered(message) => Some((key.clone(), (**message).clone())),
+            PredictedOutcome::Denied => None,
+        })
+        .collect()
+}
+
+/// A graceful durable run: zero hot-path loss, and the disk ends up holding
+/// each shard's complete oracle-conformant history, fsynced and sealed.
+#[test]
+fn durable_fleet_run_leaves_complete_verified_history_on_disk() {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog("audit_durability_graceful", Duration::from_secs(240), Arc::clone(&done));
+
+    let (fleet, shards, ctx) = fleet_under_test();
+    let ctx = format!("{ctx} durable=graceful");
+    let prediction = predict(&fleet);
+    let dir = durable_root("graceful");
+    let outcome = run_fleet(&fleet, "fleet-durability", durable_config(shards, &dir))
+        .unwrap_or_else(|error| panic!("fleet run failed {ctx}: {error}"));
+
+    assert_eq!(outcome.worker_panics, 0, "no worker escaped supervision {ctx}");
+    assert!(outcome.chains_intact, "in-memory chains verify {ctx}");
+    assert_eq!(outcome.stats.deliveries_lost, 0, "nothing lost without faults {ctx}");
+    assert_eq!(outcome.stats.published, prediction.published, "published diverged {ctx}");
+    assert_eq!(outcome.stats.delivered, prediction.delivered, "delivered diverged {ctx}");
+    assert_eq!(outcome.stats.denied, prediction.denied, "denied diverged {ctx}");
+    assert!(outcome.stats.segment_records_persisted > 0, "history streamed to disk {ctx}");
+    assert!(outcome.stats.segment_bytes_fsynced > 0, "flushes were fsynced {ctx}");
+    assert_eq!(outcome.stats.segment_records_dropped, 0, "no store wedged {ctx}");
+    assert_eq!(outcome.stats.recovery_truncations, 0, "fresh directories {ctx}");
+
+    let mut disk_records = 0u64;
+    let mut disk_allowed = 0u64;
+    for (shard, report) in recover_all(&dir, shards).iter().enumerate() {
+        assert!(report.is_clean(), "shard {shard} truncations {ctx}: {:?}", report.truncations);
+        let (_, allowed) = check_recovered_shard(shard, report, &prediction, &ctx);
+        disk_records += report.records.len() as u64;
+        disk_allowed += allowed;
+    }
+    assert_eq!(
+        disk_records, outcome.stats.segment_records_persisted,
+        "every persisted record is recoverable {ctx}"
+    );
+    assert_eq!(
+        disk_allowed, prediction.delivered,
+        "disk evidences exactly the oracle's deliveries {ctx}"
+    );
+    println!(
+        "durable graceful {ctx}: disk_records={disk_records} allowed={disk_allowed} \
+         fsynced_bytes={}",
+        outcome.stats.segment_bytes_fsynced
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    done.store(true, Ordering::Relaxed);
+}
+
+/// The crash drill: IO faults wedge segment stores mid-churn, the dataplane is
+/// torn down at a round boundary, and recovery from disk must yield verified
+/// chain prefixes matching the oracle prefix — then a second incarnation
+/// extends the same chain.
+#[test]
+fn durable_fleet_recovers_from_mid_churn_teardown() {
+    let done = Arc::new(AtomicBool::new(false));
+    watchdog("audit_durability_crash", Duration::from_secs(240), Arc::clone(&done));
+
+    let (fleet, shards, ctx) = fleet_under_test();
+    let ctx = format!("{ctx} durable=crash");
+    let seed = env_u64("LEGALIOT_FLEET_SEED", 1);
+    let dir = durable_root("crash");
+
+    // Segment IO faults: a short write (torn frame, store wedged) early in the
+    // stream and a sync error later — whichever a shard hits first wedges its
+    // store with the tail at that point, modelling a crash of the persistence
+    // layer while enforcement keeps running.
+    let registry = Arc::new(
+        FailpointRegistry::new(seed)
+            .with_spec(
+                FailpointSpec::on_hits(FailpointSite::SegmentWrite, FaultKind::ShortWrite, 50, 1)
+                    .limit(1),
+            )
+            .with_spec(
+                FailpointSpec::on_hits(FailpointSite::SegmentSync, FaultKind::IoError, 9, 1)
+                    .limit(1),
+            ),
+    );
+    let config =
+        DataplaneConfig { failpoints: Some(Arc::clone(&registry)), ..durable_config(shards, &dir) };
+
+    // Play half the script, then tear the engine down (abandon path) — the
+    // wedged stores leave torn/partial tails on disk.
+    let crash_after = fleet.rounds.len().div_ceil(2);
+    let partial = run_fleet_partial(&fleet, "fleet-durability-crash", config, crash_after)
+        .unwrap_or_else(|error| panic!("partial fleet run failed {ctx}: {error}"));
+    assert!(
+        registry.fired(FailpointSite::SegmentWrite) >= 1,
+        "the short-write fault must fire {ctx}"
+    );
+    assert_eq!(
+        partial.stats.published,
+        partial.stats.delivered
+            + partial.stats.denied
+            + partial.stats.missing_endpoint
+            + partial.stats.deliveries_lost,
+        "accounting identity exact at the teardown point {ctx}: {:?}",
+        partial.stats
+    );
+    let observed = partial.observed.clone();
+    let pre_crash_stats = partial.stats;
+    drop(partial); // drops the Dataplane: the mid-churn teardown
+
+    // The oracle over the played prefix of the script.
+    let mut prefix = fleet.clone();
+    prefix.rounds.truncate(crash_after);
+    let prediction = predict(&prefix);
+    assert_eq!(pre_crash_stats.published, prediction.published, "published diverged {ctx}");
+    assert_eq!(pre_crash_stats.delivered, prediction.delivered, "delivered diverged {ctx}");
+    assert_eq!(pre_crash_stats.denied, prediction.denied, "denied diverged {ctx}");
+    let expected = predicted_deliveries(&prediction);
+    assert_eq!(observed, expected, "observed deliveries diverged from the oracle {ctx}");
+
+    // Recovery: every shard yields a verified chain prefix of oracle-conformant
+    // records, and the short write's torn tail is reported, not silently lost.
+    let recovered = recover_all(&dir, shards);
+    let mut truncations = 0usize;
+    let mut first_pass_records = Vec::with_capacity(shards);
+    for (shard, report) in recovered.iter().enumerate() {
+        check_recovered_shard(shard, report, &prediction, &ctx);
+        truncations += report.truncations.len();
+        first_pass_records.push(report.records.len());
+    }
+    assert!(truncations >= 1, "the torn tail must be reported {ctx}");
+
+    // A second incarnation on the repaired directories: startup recovery is
+    // clean now, new traffic re-anchors on the recovered heads, and the final
+    // disk state still verifies as one chain per shard across incarnations.
+    let dataplane = Dataplane::new("fleet-durability-restart", durable_config(shards, &dir));
+    assert_eq!(
+        dataplane.stats().recovery_truncations,
+        0,
+        "manual recovery already repaired the tails {ctx}"
+    );
+    let restart_ctx = SecurityContext::from_names(["restart"], Vec::<&str>::new());
+    for name in ["restart-pub", "restart-sub"] {
+        dataplane
+            .register(
+                Component::builder(name, Principal::new("op")).context(restart_ctx.clone()).build(),
+            )
+            .unwrap();
+        dataplane.allow_sends_to(name);
+    }
+    let snapshot = ContextSnapshot::default();
+    assert!(dataplane
+        .subscribe("restart-pub", "restart-sub", &snapshot, Timestamp(1))
+        .unwrap()
+        .is_delivered());
+    for t in 0..50 {
+        dataplane.publish("restart-pub", Timestamp(10 + t)).unwrap();
+    }
+    dataplane.drain();
+    let report = dataplane.shutdown();
+    assert_eq!(report.unsynced_bytes, 0, "graceful close leaves nothing unsynced {ctx}");
+    assert!(report.segments_sealed >= 1, "the restart incarnation sealed its segments {ctx}");
+
+    let mut grew = false;
+    for (shard, report) in recover_all(&dir, shards).iter().enumerate() {
+        assert!(report.is_clean(), "final recovery clean {ctx}: {:?}", report.truncations);
+        assert!(report.chain.is_intact(), "shard {shard} chain verifies across incarnations {ctx}");
+        for (i, record) in report.records.iter().enumerate() {
+            assert_eq!(record.id.0, i as u64, "shard {shard} ids stay dense {ctx}");
+        }
+        grew |= report.records.len() > first_pass_records[shard];
+    }
+    assert!(grew, "the second incarnation extended a recovered chain {ctx}");
+    println!(
+        "durable crash {ctx}: rounds={crash_after} truncations={truncations} \
+         pre_crash={pre_crash_stats:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    done.store(true, Ordering::Relaxed);
+}

@@ -173,6 +173,58 @@ fn churn_soak_entry_path() {
         .any(|record| matches!(record.event, AuditEvent::ShardRestarted { .. })));
 }
 
+/// `examples/audit_recover.rs`: build a segment store, tear the final segment
+/// mid-frame, recover the verified prefix with the tear reported, and resume
+/// the chain from the recovered head.
+#[test]
+fn audit_recover_entry_path() {
+    use legaliot::audit::{AuditEvent, AuditLog, SegmentStore};
+    use std::path::PathBuf;
+
+    let dir =
+        std::env::temp_dir().join(format!("legaliot-audit-recover-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut log = AuditLog::new("demo-shard");
+    for i in 0..10u64 {
+        log.record(
+            AuditEvent::PolicyFired { policy: format!("p{i}"), trigger: "t".into(), actions: 1 },
+            100 + i,
+        );
+    }
+    let mut store = SegmentStore::create(&dir, 0, 4).expect("create store");
+    for record in log.records() {
+        assert!(store.append(record));
+    }
+    assert!(store.seal());
+
+    let mut segments: Vec<PathBuf> =
+        std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+    segments.sort();
+    let last = segments.last().unwrap();
+    let len = std::fs::metadata(last).unwrap().len();
+    std::fs::OpenOptions::new().write(true).open(last).unwrap().set_len(len - 5).unwrap();
+
+    let report = SegmentStore::recover(&dir).expect("recover");
+    assert!(report.chain.is_intact());
+    assert_eq!(report.records.len(), 9);
+    assert_eq!(report.truncations.len(), 1);
+    assert_eq!(report.segments.len(), 3);
+    assert_eq!(report.next_id, 9);
+
+    let again = SegmentStore::recover(&dir).expect("recover repaired dir");
+    assert!(again.is_clean());
+    let mut resumed = again.resume_log("demo-shard");
+    resumed.record(
+        AuditEvent::PolicyFired { policy: "post".into(), trigger: "t".into(), actions: 1 },
+        200,
+    );
+    let mut combined = again.records.clone();
+    combined.extend(resumed.records().iter().cloned());
+    assert!(AuditLog::verify_records(again.initial_anchor, &combined).is_intact());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 fn dataplane_install(
     topology: &legaliot::dataplane::Topology,
     dataplane: &legaliot::dataplane::Dataplane,
